@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's evaluation: Table I,
+// Table II, and Figures 6, 7 and 8, plus a beyond-the-paper device
+// scaling study. With no selection flags it runs everything. With -csv
+// DIR it additionally writes the raw figure data as CSV files.
+//
+// Usage:
+//
+//	experiments [-table1] [-table2] [-fig6] [-fig7] [-fig8] [-scaling] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		table1  = flag.Bool("table1", false, "render Table I (shuttling operation times)")
+		table2  = flag.Bool("table2", false, "render Table II (application characteristics)")
+		fig6    = flag.Bool("fig6", false, "run the Figure 6 trap-sizing study")
+		fig7    = flag.Bool("fig7", false, "run the Figure 7 topology study")
+		fig8    = flag.Bool("fig8", false, "run the Figure 8 microarchitecture study")
+		scaling = flag.Bool("scaling", false, "run the beyond-paper device scaling study")
+		csvDir  = flag.String("csv", "", "directory to write raw figure data as CSV")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	all := !*table1 && !*table2 && !*fig6 && !*fig7 && !*fig8 && !*scaling
+	params := models.Default()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatalf("csv dir: %v", err)
+		}
+	}
+
+	if all || *table1 {
+		fmt.Println(experiments.Table1(params))
+	}
+	if all || *table2 {
+		t2, err := experiments.Table2()
+		if err != nil {
+			log.Fatalf("table2: %v", err)
+		}
+		fmt.Println(t2)
+	}
+	if all || *fig6 {
+		run("fig6", *csvDir, func() (artifact, error) { return experiments.RunFig6(params) })
+	}
+	if all || *fig7 {
+		run("fig7", *csvDir, func() (artifact, error) { return experiments.RunFig7(params) })
+	}
+	if all || *fig8 {
+		run("fig8", *csvDir, func() (artifact, error) { return experiments.RunFig8(params) })
+	}
+	if all || *scaling {
+		run("scaling", *csvDir, func() (artifact, error) { return experiments.RunScaling(params) })
+	}
+}
+
+// artifact is the common shape of every generated study.
+type artifact interface {
+	Render() string
+	WriteCSV(io.Writer) error
+}
+
+func run(name, csvDir string, f func() (artifact, error)) {
+	start := time.Now()
+	a, err := f()
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	fmt.Println(a.Render())
+	fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	if csvDir == "" {
+		return
+	}
+	path := filepath.Join(csvDir, name+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	defer file.Close()
+	if err := a.WriteCSV(file); err != nil {
+		log.Fatalf("%s csv: %v", name, err)
+	}
+	fmt.Printf("[wrote %s]\n\n", path)
+}

@@ -1,0 +1,71 @@
+// Command qccdgen exports the Table II benchmark suite (or one
+// benchmark) as OpenQASM 2.0 files, for interoperability with other
+// toolchains.
+//
+// Usage:
+//
+//	qccdgen -out circuits/            # write all six benchmarks
+//	qccdgen -app QFT -out circuits/   # write one
+//	qccdgen -app BV                   # print to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qccdgen: ")
+	var (
+		app = flag.String("app", "", "benchmark to export (default: all six)")
+		out = flag.String("out", "", "output directory (default: stdout, single app only)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	var names []string
+	if *app != "" {
+		names = []string{*app}
+	} else {
+		for _, spec := range qccd.Benchmarks() {
+			names = append(names, spec.Name)
+		}
+	}
+	if *out == "" && len(names) > 1 {
+		log.Fatal("writing all benchmarks requires -out DIR")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, name := range names {
+		circ, err := qccd.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := qccd.WriteQASM(circ)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *out == "" {
+			fmt.Print(src)
+			continue
+		}
+		path := filepath.Join(*out, strings.ToLower(name)+".qasm")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		st := qccd.ComputeStats(circ)
+		fmt.Printf("wrote %s (%d qubits, %d 2Q gates)\n", path, st.Qubits, st.Gate2Q)
+	}
+}

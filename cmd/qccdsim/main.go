@@ -1,0 +1,173 @@
+// Command qccdsim compiles and simulates one application on one QCCD
+// device configuration, printing application metrics (run time, fidelity)
+// and device metrics (heating, shuttling activity).
+//
+// Usage:
+//
+//	qccdsim -app QFT -device L6 -capacity 22 -gate FM -reorder GS
+//	qccdsim -qasm program.qasm -device G2x3 -capacity 18 -dump
+//
+// The -app flag selects a built-in Table II benchmark; -qasm loads an
+// OpenQASM 2.0 file instead. -dump prints the compiled executable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qccdsim: ")
+	var (
+		app      = flag.String("app", "QAOA", "built-in benchmark: Supremacy|QAOA|SquareRoot|QFT|Adder|BV")
+		qasmFile = flag.String("qasm", "", "OpenQASM 2.0 file to run instead of -app")
+		devSpec  = flag.String("device", "L6", "device topology: L<n> or G<r>x<c>")
+		capacity = flag.Int("capacity", 20, "maximum ions per trap")
+		gateName = flag.String("gate", "FM", "two-qubit gate implementation: AM1|AM2|PM|FM")
+		reorder  = flag.String("reorder", "GS", "chain reordering method: GS|IS")
+		buffer   = flag.Int("buffer", 2, "mapper buffer slots per trap")
+		dump     = flag.Bool("dump", false, "print the compiled executable")
+		stats    = flag.Bool("stats", false, "print workload statistics and exit")
+		lower    = flag.Bool("lower", false, "lower abstract gates to native MS + rotations first")
+		traceOut = flag.String("trace", "", "write the per-op execution timeline CSV to this file")
+		gantt    = flag.Bool("gantt", false, "print an ASCII timeline of device resource usage")
+		paramsIn = flag.String("params", "", "JSON file overriding the physical model parameters")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	circ, err := loadCircuit(*app, *qasmFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *lower {
+		if circ, err = qccd.LowerToNative(circ); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *stats {
+		fmt.Println(qccd.ComputeStats(circ))
+		return
+	}
+
+	dev, err := qccd.ParseDevice(*devSpec, *capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := qccd.DefaultParams()
+	if *paramsIn != "" {
+		data, err := os.ReadFile(*paramsIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if params, err = qccd.LoadParams(data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	params.Gate, err = parseGate(*gateName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := qccd.DefaultCompileOptions()
+	opts.BufferSlots = *buffer
+	opts.Reorder, err = parseReorder(*reorder)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prog, err := qccd.Compile(circ, dev, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dump {
+		fmt.Print(prog)
+	}
+	if *traceOut != "" || *gantt {
+		res, trace, err := qccd.SimulateTraced(prog, dev, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *gantt {
+			fmt.Print(trace.Gantt(100))
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := trace.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote execution trace to %s (%d ops)\n", *traceOut, len(trace))
+		}
+		report(res, params)
+		return
+	}
+	res, err := qccd.Simulate(prog, dev, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res, params)
+}
+
+func loadCircuit(app, qasmFile string) (*qccd.Circuit, error) {
+	if qasmFile == "" {
+		return qccd.Benchmark(app)
+	}
+	src, err := os.ReadFile(qasmFile)
+	if err != nil {
+		return nil, err
+	}
+	return qccd.ParseQASM(qasmFile, string(src))
+}
+
+func parseGate(name string) (qccd.GateImpl, error) {
+	for _, g := range []qccd.GateImpl{qccd.AM1, qccd.AM2, qccd.PM, qccd.FM} {
+		if g.String() == name {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown gate implementation %q (want AM1|AM2|PM|FM)", name)
+}
+
+func parseReorder(name string) (qccd.ReorderMethod, error) {
+	switch name {
+	case "GS":
+		return qccd.GS, nil
+	case "IS":
+		return qccd.IS, nil
+	}
+	return 0, fmt.Errorf("unknown reorder method %q (want GS|IS)", name)
+}
+
+func report(r *qccd.Result, params qccd.Params) {
+	fmt.Printf("application:        %s on %s (%s gates)\n", r.Name, r.DeviceName, params.Gate)
+	fmt.Printf("run time:           %.6f s (compute %.6f s, communication %.6f s, idle %.6f s)\n",
+		r.TotalSeconds(), r.ComputeSeconds(), r.CommSeconds(), r.IdleTime*1e-6)
+	fmt.Printf("fidelity:           %.6g (log %.4f)\n", r.Fidelity, r.LogFidelity)
+	fmt.Printf("MS gates executed:  %d (mean motional err %.3e, background err %.3e)\n",
+		r.MSGates, r.MeanMotionalError, r.MeanBackgroundError)
+	fmt.Printf("1Q gates / measures: %d / %d\n", r.OneQGates, r.Measurements)
+	fmt.Printf("max motional energy: %.2f quanta (per trap: %s)\n", r.MaxMotionalEnergy, formatFloats(r.MaxMotionalPerTrap))
+	fmt.Printf("shuttling:          %d splits, %d merges, %d moves, %d junction crossings, %d ion swaps, %d GS swaps\n",
+		r.Splits, r.Merges, r.Moves, r.JunctionCrossings, r.IonSwaps, r.GSSwaps)
+}
+
+func formatFloats(xs []float64) string {
+	s := "["
+	for i, x := range xs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.1f", x)
+	}
+	return s + "]"
+}

@@ -1,0 +1,63 @@
+package qccd_test
+
+import (
+	"fmt"
+	"log"
+
+	qccd "repro"
+)
+
+// ExampleRun compiles and simulates a small circuit on a two-trap device.
+func ExampleRun() {
+	dev, err := qccd.NewLinearDevice(2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	circ := qccd.NewBuilder("ghz4", 4).
+		H(0).CNOT(0, 1).CNOT(1, 2).CNOT(2, 3).
+		MeasureAll().
+		MustCircuit()
+	res, err := qccd.Run(circ, dev, qccd.DefaultCompileOptions(), qccd.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shuttles: %d split(s), %d merge(s)\n", res.Splits, res.Merges)
+	fmt.Printf("MS gates: %d\n", res.MSGates)
+	// Output:
+	// shuttles: 1 split(s), 1 merge(s)
+	// MS gates: 3
+}
+
+// ExampleParseQASM runs an OpenQASM 2.0 program through the toolflow.
+func ExampleParseQASM() {
+	circ, err := qccd.ParseQASM("bell", `
+		OPENQASM 2.0;
+		include "qelib1.inc";
+		qreg q[2];
+		creg c[2];
+		h q[0];
+		cx q[0],q[1];
+		measure q -> c;
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := qccd.ComputeStats(circ)
+	fmt.Printf("%d qubits, %d two-qubit gates, %d measurements\n",
+		st.Qubits, st.Gate2Q, st.Measures)
+	// Output:
+	// 2 qubits, 1 two-qubit gates, 2 measurements
+}
+
+// ExampleTable1 prints the paper's shuttling-time table.
+func ExampleTable1() {
+	fmt.Print(qccd.Table1(qccd.DefaultParams()))
+	// Output:
+	// Table I: Shuttling operation times
+	// Operation                            Time
+	// Move ion through one segment          5µs
+	// Splitting operation on a chain       80µs
+	// Merging an ion with a chain          80µs
+	// Crossing Y-junction                 100µs
+	// Crossing X-junction                 120µs
+}

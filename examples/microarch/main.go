@@ -1,0 +1,57 @@
+// Microarchitecture study (paper §X): compare the four MS gate
+// implementations (AM1, AM2, PM, FM) and the two chain reordering methods
+// (GS, IS) for one workload on the linear device at one capacity. This is
+// a slice of Figure 8 and shows why the best gate depends on the
+// application's communication pattern.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro"
+)
+
+func main() {
+	app := "QFT"
+	capacity := 22
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		c, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad capacity %q", os.Args[2])
+		}
+		capacity = c
+	}
+	explorer := qccd.NewExplorer(qccd.DefaultParams())
+
+	fmt.Printf("%s on L6 at capacity %d\n", app, capacity)
+	fmt.Printf("%-10s %-12s %-12s\n", "combo", "time(s)", "fidelity")
+	type best struct {
+		combo string
+		fid   float64
+	}
+	var b best
+	for _, gate := range []qccd.GateImpl{qccd.AM1, qccd.AM2, qccd.PM, qccd.FM} {
+		for _, method := range []qccd.ReorderMethod{qccd.GS, qccd.IS} {
+			o := explorer.Run(qccd.DesignPoint{
+				App: app, Topology: "L6", Capacity: capacity, Gate: gate, Reorder: method,
+			})
+			if o.Err != nil {
+				log.Fatal(o.Err)
+			}
+			combo := gate.String() + "-" + method.String()
+			fmt.Printf("%-10s %-12.4f %-12.3e\n", combo, o.Result.TotalSeconds(), o.Result.Fidelity)
+			if o.Result.Fidelity > b.fid {
+				b = best{combo, o.Result.Fidelity}
+			}
+		}
+	}
+	fmt.Printf("\nmost reliable microarchitecture for %s: %s (fidelity %.3e)\n", app, b.combo, b.fid)
+	fmt.Println("paper: support multiple gate implementations and pick per application (§X.A);")
+	fmt.Println("use gate-based swapping for reordering (§X.B)")
+}

@@ -1,0 +1,61 @@
+// QASM interface demo: parse an OpenQASM 2.0 program (the paper's
+// compiler consumes IR produced by Qiskit/Cirq/ScaffCC through this
+// interface, §VIII.A), run it on a small QCCD device, and write the IR
+// back out as QASM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// A 4-qubit GHZ-state preparation with a long-range entangling tail.
+const src = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+rz(pi/4) q[3];
+cp(pi/2) q[0],q[3];
+barrier q;
+measure q -> c;
+`
+
+func main() {
+	circ, err := qccd.ParseQASM("ghz4", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parsed:", qccd.ComputeStats(circ))
+
+	// Two traps of three ions each force one shuttle for the long-range
+	// controlled-phase.
+	dev, err := qccd.NewLinearDevice(2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := qccd.Compile(circ, dev, qccd.DefaultCompileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("compiled executable:\n", prog)
+
+	res, err := qccd.Simulate(prog, dev, qccd.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", res)
+
+	out, err := qccd.WriteQASM(circ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round-tripped QASM:")
+	fmt.Print(out)
+}

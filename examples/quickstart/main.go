@@ -1,0 +1,52 @@
+// Quickstart: build a benchmark, compile it onto a QCCD device, simulate
+// it, and read out the application and device metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 6-trap linear QCCD device holding up to 20 ions per trap — the
+	// paper's L6 topology at its recommended capacity sweet spot.
+	dev, err := qccd.NewLinearDevice(6, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's QAOA benchmark: 64 qubits, 1260 nearest-neighbor
+	// two-qubit gates (Table II).
+	circ, err := qccd.Benchmark("QAOA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload:", qccd.ComputeStats(circ))
+
+	// Compile (greedy mapping, shuttle routing, GS reordering) and
+	// simulate with the default FM gate implementation.
+	res, err := qccd.Run(circ, dev, qccd.DefaultCompileOptions(), qccd.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("run time:  %.4f s\n", res.TotalSeconds())
+	fmt.Printf("fidelity:  %.4f\n", res.Fidelity)
+	fmt.Printf("shuttles:  %d splits / %d merges / %d moves\n", res.Splits, res.Merges, res.Moves)
+	fmt.Printf("max chain energy: %.1f quanta\n", res.MaxMotionalEnergy)
+
+	// Custom circuits use the builder API.
+	bell := qccd.NewBuilder("bell", 2).H(0).CNOT(0, 1).MeasureAll().MustCircuit()
+	small, err := qccd.NewLinearDevice(1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bellRes, err := qccd.Run(bell, small, qccd.DefaultCompileOptions(), qccd.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bell pair on a single trap: fidelity %.6f in %.0f µs\n",
+		bellRes.Fidelity, bellRes.TotalTime)
+}

@@ -1,0 +1,58 @@
+// Hardware recommendation: the workflow the paper's toolflow exists for.
+// Given a workload, sweep the full design space — topology × trap
+// capacity × gate implementation × reordering method — and report the
+// most reliable configuration plus runners-up (§XII: "we provide design
+// insights and recommendations for choosing trap sizes, topology, and
+// gate implementations").
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	app := "SquareRoot"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	explorer := qccd.NewExplorer(qccd.DefaultParams())
+
+	var points []qccd.DesignPoint
+	for _, topo := range []string{"L6", "G2x3"} {
+		for _, cap := range []int{14, 18, 22, 26, 30, 34} {
+			for _, gate := range []qccd.GateImpl{qccd.AM1, qccd.AM2, qccd.PM, qccd.FM} {
+				for _, method := range []qccd.ReorderMethod{qccd.GS, qccd.IS} {
+					points = append(points, qccd.DesignPoint{
+						App: app, Topology: topo, Capacity: cap, Gate: gate, Reorder: method,
+					})
+				}
+			}
+		}
+	}
+	fmt.Printf("exploring %d design points for %s...\n\n", len(points), app)
+	outcomes := explorer.Sweep(points)
+
+	ok := outcomes[:0]
+	for _, o := range outcomes {
+		if o.Err != nil {
+			log.Fatalf("%s: %v", o.Point, o.Err)
+		}
+		ok = append(ok, o)
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i].Result.Fidelity > ok[j].Result.Fidelity })
+
+	fmt.Printf("%-28s %-12s %-10s %s\n", "configuration", "fidelity", "time(s)", "maxE(quanta)")
+	for i := 0; i < 8 && i < len(ok); i++ {
+		o := ok[i]
+		fmt.Printf("%-28s %-12.3e %-10.4f %.1f\n",
+			o.Point.String(), o.Result.Fidelity, o.Result.TotalSeconds(), o.Result.MaxMotionalEnergy)
+	}
+	best := ok[0]
+	fmt.Printf("\nrecommendation for %s: %s on %s with %d-ion traps and %s reordering\n",
+		app, best.Point.Gate, best.Point.Topology, best.Point.Capacity, best.Point.Reorder)
+}

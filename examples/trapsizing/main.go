@@ -1,0 +1,46 @@
+// Trap sizing study (paper §IX.A): sweep trap capacity for one workload
+// on the linear device and locate the fidelity sweet spot. This is a
+// single-application slice of Figure 6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	app := "Supremacy"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	explorer := qccd.NewExplorer(qccd.DefaultParams())
+
+	capacities := []int{14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34}
+	var points []qccd.DesignPoint
+	for _, c := range capacities {
+		points = append(points, qccd.DesignPoint{
+			App: app, Topology: "L6", Capacity: c, Gate: qccd.FM, Reorder: qccd.GS,
+		})
+	}
+	outcomes := explorer.Sweep(points)
+
+	fmt.Printf("%s on L6 (FM gates, GS reordering)\n", app)
+	fmt.Printf("%-8s %-10s %-12s %-14s %s\n", "cap", "time(s)", "fidelity", "maxE(quanta)", "splits")
+	bestCap, bestFid := 0, 0.0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			log.Fatalf("%s: %v", o.Point, o.Err)
+		}
+		r := o.Result
+		fmt.Printf("%-8d %-10.4f %-12.3e %-14.1f %d\n",
+			o.Point.Capacity, r.TotalSeconds(), r.Fidelity, r.MaxMotionalEnergy, r.Splits)
+		if r.Fidelity > bestFid {
+			bestFid, bestCap = r.Fidelity, o.Point.Capacity
+		}
+	}
+	fmt.Printf("\nbest capacity for %s: %d ions/trap (fidelity %.3e)\n", app, bestCap, bestFid)
+	fmt.Println("paper recommendation: design traps for 20-25 ions and load fewer when it helps (§IX.A)")
+}

@@ -1,0 +1,122 @@
+// Package circuit defines the program intermediate representation (IR)
+// consumed by the QCCD backend compiler: a fully unrolled sequence of gates
+// with data (qubit) dependencies and no control flow, exactly as described
+// in §V.A and §VI of the paper. It also provides the dependency DAG used by
+// the earliest-ready-gate-first scheduler and the workload statistics that
+// drive the architectural study (Table II).
+package circuit
+
+import "fmt"
+
+// Circuit is a fully unrolled quantum program: a named, ordered gate list
+// over NumQubits program qubits. The zero value is an empty, unusable
+// circuit; construct circuits with New or a Builder.
+type Circuit struct {
+	// Name identifies the workload (e.g. "qft64") in reports.
+	Name string
+	// NumQubits is the number of program qubits; operands are [0,NumQubits).
+	NumQubits int
+	// Gates is the program order. Dependencies are implied: each gate
+	// depends on the previous gate touching any of its operands.
+	Gates []Gate
+}
+
+// New returns an empty circuit over n qubits.
+func New(name string, n int) *Circuit {
+	return &Circuit{Name: name, NumQubits: n}
+}
+
+// Append adds gates to the end of the program without validation. Use
+// Validate (or a Builder) to check the result.
+func (c *Circuit) Append(gs ...Gate) { c.Gates = append(c.Gates, gs...) }
+
+// Validate checks every gate against the qubit bound and arity rules.
+func (c *Circuit) Validate() error {
+	if c.NumQubits <= 0 {
+		return fmt.Errorf("circuit %q: non-positive qubit count %d", c.Name, c.NumQubits)
+	}
+	for i, g := range c.Gates {
+		if err := g.Validate(c.NumQubits); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CountKind returns the number of gates of kind k.
+func (c *Circuit) CountKind(k Kind) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TwoQubitGates returns the number of two-qubit entangling gates.
+func (c *Circuit) TwoQubitGates() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// SingleQubitGates returns the number of unitary single-qubit gates.
+func (c *Circuit) SingleQubitGates() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind.IsSingleQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// Measurements returns the number of measurement operations.
+func (c *Circuit) Measurements() int { return c.CountKind(GateMeasure) }
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits, Gates: make([]Gate, len(c.Gates))}
+	for i, g := range c.Gates {
+		q := make([]int, len(g.Qubits))
+		copy(q, g.Qubits)
+		out.Gates[i] = Gate{Kind: g.Kind, Qubits: q, Param: g.Param}
+	}
+	return out
+}
+
+// MeasureAll appends a measurement on every qubit, as the NISQ benchmarks
+// do at the end of the program.
+func (c *Circuit) MeasureAll() {
+	for q := 0; q < c.NumQubits; q++ {
+		c.Append(Measure(q))
+	}
+}
+
+// FirstUseOrder returns the program qubits ordered by the position of
+// their first appearance in the gate stream, with operands of one gate
+// kept in operand order (control before target). Qubits never touched come
+// last, in index order. This is the ordering the greedy mapper uses (§VI).
+func (c *Circuit) FirstUseOrder() []int {
+	order := make([]int, 0, c.NumQubits)
+	seen := make([]bool, c.NumQubits)
+	for _, g := range c.Gates {
+		for _, q := range g.Qubits {
+			if !seen[q] {
+				seen[q] = true
+				order = append(order, q)
+			}
+		}
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		if !seen[q] {
+			order = append(order, q)
+		}
+	}
+	return order
+}

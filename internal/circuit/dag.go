@@ -1,0 +1,153 @@
+package circuit
+
+// DAG is the data-dependency graph of a circuit. Node i corresponds to
+// Gates[i]; an edge u->v means gate v must execute after gate u because
+// they share a qubit and u precedes v in program order. Only the most
+// recent writer per qubit is linked, so the edge set is the transitive
+// reduction along each qubit's timeline.
+type DAG struct {
+	// Succs[i] lists the gates that directly depend on gate i.
+	Succs [][]int
+	// Preds[i] lists the gates gate i directly depends on.
+	Preds [][]int
+	// InDegree[i] is len(Preds[i]); kept separately so schedulers can
+	// copy and decrement it without mutating the DAG.
+	InDegree []int
+}
+
+// BuildDAG constructs the dependency DAG for c.
+func BuildDAG(c *Circuit) *DAG {
+	n := len(c.Gates)
+	d := &DAG{
+		Succs:    make([][]int, n),
+		Preds:    make([][]int, n),
+		InDegree: make([]int, n),
+	}
+	last := make([]int, c.NumQubits) // last gate index touching each qubit
+	for i := range last {
+		last[i] = -1
+	}
+	for i, g := range c.Gates {
+		seen := map[int]bool{} // dedupe: a 2Q gate may depend on one pred via both qubits
+		for _, q := range g.Qubits {
+			if p := last[q]; p >= 0 && !seen[p] {
+				seen[p] = true
+				d.Succs[p] = append(d.Succs[p], i)
+				d.Preds[i] = append(d.Preds[i], p)
+				d.InDegree[i]++
+			}
+			last[q] = i
+		}
+	}
+	return d
+}
+
+// Roots returns the gates with no dependencies, in program order.
+func (d *DAG) Roots() []int {
+	var roots []int
+	for i, deg := range d.InDegree {
+		if deg == 0 {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Len returns the number of nodes.
+func (d *DAG) Len() int { return len(d.Succs) }
+
+// TopoOrder returns the gates in a topological order that prefers lower
+// gate indices among ready nodes (earliest-ready-gate-first, §VI). The
+// second return is false if the graph has a cycle, which cannot happen for
+// DAGs built by BuildDAG but is checked for safety.
+func (d *DAG) TopoOrder() ([]int, bool) {
+	n := d.Len()
+	indeg := make([]int, n)
+	copy(indeg, d.InDegree)
+	// Ready set kept as a min-heap over gate index.
+	h := &intHeap{}
+	for i, deg := range indeg {
+		if deg == 0 {
+			h.push(i)
+		}
+	}
+	order := make([]int, 0, n)
+	for h.len() > 0 {
+		u := h.pop()
+		order = append(order, u)
+		for _, v := range d.Succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				h.push(v)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// Depth returns the length of the longest dependency chain (circuit depth
+// counting every gate as one level). An empty circuit has depth 0.
+func (d *DAG) Depth() int {
+	order, ok := d.TopoOrder()
+	if !ok {
+		return -1
+	}
+	level := make([]int, d.Len())
+	max := 0
+	for _, u := range order {
+		l := 1
+		for _, p := range d.Preds[u] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[u] = l
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// intHeap is a minimal binary min-heap over ints, avoiding the
+// container/heap interface boilerplate for this hot path.
+type intHeap struct{ a []int }
+
+func (h *intHeap) len() int { return len(h.a) }
+
+func (h *intHeap) push(x int) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,186 @@
+package circuit
+
+import "fmt"
+
+// Kind identifies a gate operation in the program IR.
+//
+// The IR deliberately mirrors the gate vocabulary that the paper's language
+// frontends (Qiskit, Cirq, ScaffCC via OpenQASM) emit: a universal set of
+// single-qubit rotations and Clifford gates, a family of two-qubit
+// entangling gates, and measurement. The backend compiler lowers every
+// two-qubit gate to the native Mølmer-Sørensen (MS) primitive plus
+// single-qubit corrections (see internal/compiler).
+type Kind uint8
+
+const (
+	// Invalid is the zero Kind; it never appears in a valid circuit.
+	Invalid Kind = iota
+
+	// Single-qubit gates.
+	GateX
+	GateY
+	GateZ
+	GateH
+	GateS
+	GateSdg
+	GateT
+	GateTdg
+	GateRX // parameterized rotation about X
+	GateRY // parameterized rotation about Y
+	GateRZ // parameterized rotation about Z
+
+	// Two-qubit gates.
+	GateMS     // native XX-type Mølmer-Sørensen entangling gate
+	GateCNOT   // controlled-NOT
+	GateCZ     // controlled-Z
+	GateCPhase // parameterized controlled-phase
+	GateZZ     // parameterized ZZ interaction (QAOA cost term)
+	GateSwap   // logical SWAP
+
+	// Non-unitary operations.
+	GateMeasure // computational-basis measurement
+	GateBarrier // scheduling barrier across the listed qubits
+)
+
+var kindNames = [...]string{
+	Invalid:     "invalid",
+	GateX:       "x",
+	GateY:       "y",
+	GateZ:       "z",
+	GateH:       "h",
+	GateS:       "s",
+	GateSdg:     "sdg",
+	GateT:       "t",
+	GateTdg:     "tdg",
+	GateRX:      "rx",
+	GateRY:      "ry",
+	GateRZ:      "rz",
+	GateMS:      "ms",
+	GateCNOT:    "cx",
+	GateCZ:      "cz",
+	GateCPhase:  "cp",
+	GateZZ:      "rzz",
+	GateSwap:    "swap",
+	GateMeasure: "measure",
+	GateBarrier: "barrier",
+}
+
+// String returns the lower-case OpenQASM-style mnemonic for the gate kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Arity reports how many qubits a gate of this kind acts on. Barrier is
+// variadic and reports -1.
+func (k Kind) Arity() int {
+	switch k {
+	case GateX, GateY, GateZ, GateH, GateS, GateSdg, GateT, GateTdg,
+		GateRX, GateRY, GateRZ, GateMeasure:
+		return 1
+	case GateMS, GateCNOT, GateCZ, GateCPhase, GateZZ, GateSwap:
+		return 2
+	case GateBarrier:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// IsTwoQubit reports whether the kind is an entangling two-qubit gate.
+func (k Kind) IsTwoQubit() bool { return k.Arity() == 2 }
+
+// IsSingleQubit reports whether the kind is a unitary single-qubit gate.
+func (k Kind) IsSingleQubit() bool { return k.Arity() == 1 && k != GateMeasure }
+
+// Parameterized reports whether the kind carries a rotation angle.
+func (k Kind) Parameterized() bool {
+	switch k {
+	case GateRX, GateRY, GateRZ, GateCPhase, GateZZ, GateMS:
+		return true
+	}
+	return false
+}
+
+// KindByName maps an OpenQASM-style mnemonic back to a Kind. It returns
+// Invalid for unknown names.
+func KindByName(name string) Kind {
+	for k, n := range kindNames {
+		if n == name && Kind(k) != Invalid {
+			return Kind(k)
+		}
+	}
+	return Invalid
+}
+
+// Gate is a single operation in the program IR. Qubits holds the operand
+// indices (control first for controlled gates). Param is the rotation angle
+// in radians for parameterized kinds and is ignored otherwise.
+type Gate struct {
+	Kind   Kind
+	Qubits []int
+	Param  float64
+}
+
+// NewGate1 builds a single-qubit gate.
+func NewGate1(k Kind, q int) Gate { return Gate{Kind: k, Qubits: []int{q}} }
+
+// NewGate1P builds a parameterized single-qubit gate.
+func NewGate1P(k Kind, q int, theta float64) Gate {
+	return Gate{Kind: k, Qubits: []int{q}, Param: theta}
+}
+
+// NewGate2 builds a two-qubit gate.
+func NewGate2(k Kind, a, b int) Gate { return Gate{Kind: k, Qubits: []int{a, b}} }
+
+// NewGate2P builds a parameterized two-qubit gate.
+func NewGate2P(k Kind, a, b int, theta float64) Gate {
+	return Gate{Kind: k, Qubits: []int{a, b}, Param: theta}
+}
+
+// Measure builds a measurement on qubit q.
+func Measure(q int) Gate { return Gate{Kind: GateMeasure, Qubits: []int{q}} }
+
+// IsTwoQubit reports whether g is an entangling two-qubit gate.
+func (g Gate) IsTwoQubit() bool { return g.Kind.IsTwoQubit() }
+
+// Validate checks arity and operand distinctness against numQubits.
+func (g Gate) Validate(numQubits int) error {
+	if g.Kind == Invalid {
+		return fmt.Errorf("circuit: invalid gate kind")
+	}
+	want := g.Kind.Arity()
+	if want >= 0 && len(g.Qubits) != want {
+		return fmt.Errorf("circuit: gate %s wants %d qubits, has %d", g.Kind, want, len(g.Qubits))
+	}
+	seen := make(map[int]bool, len(g.Qubits))
+	for _, q := range g.Qubits {
+		if q < 0 || q >= numQubits {
+			return fmt.Errorf("circuit: gate %s operand %d out of range [0,%d)", g.Kind, q, numQubits)
+		}
+		if seen[q] {
+			return fmt.Errorf("circuit: gate %s repeats operand %d", g.Kind, q)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+// String renders the gate in OpenQASM-like form, e.g. "cx q[0],q[3]".
+func (g Gate) String() string {
+	s := g.Kind.String()
+	if g.Kind.Parameterized() {
+		s += fmt.Sprintf("(%g)", g.Param)
+	}
+	for i, q := range g.Qubits {
+		if i == 0 {
+			s += " "
+		} else {
+			s += ","
+		}
+		s += fmt.Sprintf("q[%d]", q)
+	}
+	return s
+}

@@ -1,0 +1,520 @@
+// Package compiler implements the QCCD backend compiler of §VI. It maps
+// program qubits onto traps with a greedy first-use-order heuristic
+// (leaving buffer slots for incoming shuttles), schedules gates earliest-
+// ready-first over the dependency DAG, routes shuttles along shortest
+// device paths (inserting the extra merge/reorder/split sequences that
+// linear topologies require at intermediate traps, Figure 4), inserts
+// chain-reordering operations for the configured method (GS or IS), and
+// emits a dependency-annotated isa.Program.
+//
+// Dependency discipline: every op depends on the previous op touching each
+// of its qubits, and every chain-structure-changing op (split, merge,
+// swap) additionally depends on the previous structural op of its trap.
+// The per-trap structural total order makes chain membership, chain
+// ordering and capacity occupancy at each structural op identical between
+// compile time and simulation time, which is what guarantees that splits
+// find their ion at the chain end and merges never overflow a trap. The
+// simulator grants contended resources to the lowest op ID first, which
+// realizes the paper's "prioritize earlier gates" congestion policy and —
+// because ops hold at most one resource — cannot deadlock.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/isa"
+	"repro/internal/models"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Reorder selects the chain reordering method (GS or IS, §IV.C).
+	Reorder models.ReorderMethod
+	// BufferSlots is the per-trap headroom the mapper leaves for incoming
+	// shuttles (the paper uses 2). It is reduced automatically when the
+	// device would otherwise not fit the program.
+	BufferSlots int
+	// RouteCosts weights the shuttle router's shortest-path search.
+	RouteCosts device.RouteCosts
+	// MaxEvictionDepth bounds recursive trap-overflow rebalancing.
+	MaxEvictionDepth int
+	// BalancedMapping spreads qubits over all traps in equal contiguous
+	// blocks instead of the paper's sequential fill-to-capacity. Shorter
+	// chains speed up FM gates but use more inter-trap communication; the
+	// BenchmarkAblationMapping ablation quantifies the trade.
+	BalancedMapping bool
+}
+
+// DefaultOptions returns the paper's configuration: GS reordering and two
+// buffer slots per trap.
+func DefaultOptions() Options {
+	return Options{
+		Reorder:          models.GS,
+		BufferSlots:      2,
+		RouteCosts:       device.DefaultRouteCosts(),
+		MaxEvictionDepth: 16,
+	}
+}
+
+// Compile lowers circuit c onto device d, producing an executable program.
+func Compile(c *circuit.Circuit, d *device.Device, opts Options) (*isa.Program, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: %w", err)
+	}
+	if opts.MaxEvictionDepth <= 0 {
+		opts.MaxEvictionDepth = 16
+	}
+	if c.NumQubits > d.MaxIons() {
+		return nil, fmt.Errorf("compiler: %d qubits exceed device capacity %d (%s)",
+			c.NumQubits, d.MaxIons(), d.Name)
+	}
+	cc := &compilation{
+		circ:   c,
+		dev:    d,
+		opts:   opts,
+		router: device.NewRouter(d, opts.RouteCosts),
+		trapOf: make([]int, c.NumQubits),
+	}
+	cc.mapQubits()
+	if err := cc.run(); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{
+		Name:          c.Name,
+		NumQubits:     c.NumQubits,
+		DeviceName:    d.Name,
+		InitialLayout: cc.initialLayout,
+		Ops:           cc.ops,
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: produced invalid program: %w", err)
+	}
+	return prog, nil
+}
+
+// compilation holds the mutable state of one Compile call.
+type compilation struct {
+	circ   *circuit.Circuit
+	dev    *device.Device
+	opts   Options
+	router *device.Router
+
+	chains        [][]int // per trap: qubit IDs in chain order (0 = left end)
+	trapOf        []int   // qubit -> trap (-1 while in transit)
+	initialLayout [][]int
+
+	ops           []isa.Op
+	lastOfQubit   []int // qubit -> last op ID touching it (-1 none)
+	lastStructure []int // trap -> last structural op ID (-1 none)
+
+	useLists  [][]int // qubit -> sorted gate indices of its IR gates
+	useCounts []int   // qubit -> IR gates already emitted (cursor into useLists)
+}
+
+// mapQubits places qubits into traps in first-use order, filling each trap
+// to capacity minus the buffer slots (§VI).
+func (cc *compilation) mapQubits() {
+	c, d := cc.circ, cc.dev
+	buffer := cc.opts.BufferSlots
+	if perTrap := (d.MaxIons() - c.NumQubits) / d.NumTraps(); buffer > perTrap {
+		buffer = perTrap
+	}
+	if buffer > d.Capacity-1 {
+		buffer = d.Capacity - 1
+	}
+	if buffer < 0 {
+		buffer = 0
+	}
+	usable := d.Capacity - buffer
+	if cc.opts.BalancedMapping {
+		if even := (c.NumQubits + d.NumTraps() - 1) / d.NumTraps(); even < usable {
+			usable = even
+		}
+	}
+	cc.chains = make([][]int, d.NumTraps())
+	trap := 0
+	for _, q := range c.FirstUseOrder() {
+		for len(cc.chains[trap]) >= usable {
+			trap++
+		}
+		cc.chains[trap] = append(cc.chains[trap], q)
+		cc.trapOf[q] = trap
+	}
+	cc.initialLayout = make([][]int, d.NumTraps())
+	for t, chain := range cc.chains {
+		cc.initialLayout[t] = append([]int(nil), chain...)
+	}
+	cc.lastOfQubit = make([]int, c.NumQubits)
+	for i := range cc.lastOfQubit {
+		cc.lastOfQubit[i] = -1
+	}
+	cc.lastStructure = make([]int, d.NumTraps())
+	for i := range cc.lastStructure {
+		cc.lastStructure[i] = -1
+	}
+	cc.useLists = make([][]int, c.NumQubits)
+	for gi, g := range c.Gates {
+		if g.Kind == circuit.GateBarrier {
+			continue
+		}
+		for _, q := range g.Qubits {
+			cc.useLists[q] = append(cc.useLists[q], gi)
+		}
+	}
+	cc.useCounts = make([]int, c.NumQubits)
+}
+
+// run processes gates in earliest-ready-first order, emitting ops.
+func (cc *compilation) run() error {
+	dag := circuit.BuildDAG(cc.circ)
+	order, ok := dag.TopoOrder()
+	if !ok {
+		return fmt.Errorf("compiler: dependency graph has a cycle")
+	}
+	for _, gi := range order {
+		g := cc.circ.Gates[gi]
+		switch {
+		case g.Kind == circuit.GateBarrier:
+			// Barriers only constrain the IR schedule; the DAG already
+			// encodes their ordering, so they emit nothing.
+		case g.Kind == circuit.GateMeasure:
+			q := g.Qubits[0]
+			cc.addOp(isa.Op{
+				Kind: isa.OpMeasure, Qubits: []int{q}, Trap: cc.trapOf[q],
+				Gate: g.Kind, GateIndex: gi,
+			}, false)
+		case g.Kind.IsSingleQubit():
+			q := g.Qubits[0]
+			cc.addOp(isa.Op{
+				Kind: isa.OpGate1, Qubits: []int{q}, Trap: cc.trapOf[q],
+				Gate: g.Kind, Param: g.Param, GateIndex: gi,
+			}, false)
+		case g.Kind.IsTwoQubit():
+			if err := cc.twoQubit(gi, g); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("compiler: gate %d: unsupported kind %s", gi, g.Kind)
+		}
+	}
+	return nil
+}
+
+// twoQubit co-locates the operands (shuttling one of them if needed) and
+// emits the entangling gate.
+func (cc *compilation) twoQubit(gi int, g circuit.Gate) error {
+	a, b := g.Qubits[0], g.Qubits[1]
+	ta, tb := cc.trapOf[a], cc.trapOf[b]
+	if ta != tb {
+		mover, src, dst := a, ta, tb
+		if cc.moveCost(b, tb, ta) < cc.moveCost(a, ta, tb) {
+			mover, src, dst = b, tb, ta
+		}
+		if err := cc.shuttle(mover, src, dst, gi, 0, []int{a, b}); err != nil {
+			return fmt.Errorf("compiler: gate %d (%s): %w", gi, g, err)
+		}
+	}
+	cc.addOp(isa.Op{
+		Kind: isa.OpGate2, Qubits: []int{a, b}, Trap: cc.trapOf[a],
+		Gate: g.Kind, Param: g.Param, GateIndex: gi,
+	}, false)
+	return nil
+}
+
+// moveCost scores shuttling qubit mover from src into dst: route distance,
+// plus the chain-reordering work needed to bring the mover to the exit
+// end (one SWAP for GS, per-position hops for IS — reorders are expensive
+// in both fidelity and heat, so movers already sitting at the correct
+// chain end are strongly preferred), plus a large penalty when the
+// destination is full and would force an eviction.
+func (cc *compilation) moveCost(mover, src, dst int) float64 {
+	dist, err := cc.router.Distance(src, dst)
+	if err != nil {
+		return 1e18
+	}
+	route, err := cc.router.Route(src, dst)
+	if err != nil {
+		return 1e18
+	}
+	if steps := cc.reorderSteps(mover, src, route.SrcEnd); steps > 0 {
+		if cc.opts.Reorder == models.GS {
+			dist += 10
+		} else {
+			dist += 5 * float64(steps)
+		}
+	}
+	// Graded occupancy penalty: steering gates away from nearly-full
+	// destinations avoids eviction churn, which costs far more (a full
+	// shuttle plus usually a reorder) than routing the other operand.
+	switch free := cc.dev.Capacity - len(cc.chains[dst]); {
+	case free <= 0:
+		dist += 1e6
+	case free == 1:
+		dist += 24
+	case free == 2:
+		dist += 8
+	}
+	return dist
+}
+
+// reorderSteps returns how many positions separate qubit q from the given
+// end of its trap's chain.
+func (cc *compilation) reorderSteps(q, t int, end device.End) int {
+	pos := cc.position(q, t)
+	if end == device.Left {
+		return pos
+	}
+	return len(cc.chains[t]) - 1 - pos
+}
+
+// shuttle moves qubit q from trap src to trap dst along the shortest
+// route, inserting reorders, transit merges/splits and evictions as
+// needed. gi is the gate index motivating the shuttle (-1 for evictions).
+// The keep qubits — the gate operands plus every qubit already being
+// shuttled further up the recursion stack — are never eviction victims.
+//
+// Space for q is made just in time, immediately before each merge: because
+// q is off-chain while in transit, the device always has at least one free
+// slot, so a nearest-space eviction can always make progress. Eviction
+// destinations prefer traps off the remaining route to limit churn.
+func (cc *compilation) shuttle(q, src, dst, gi, depth int, keep []int) error {
+	if depth > cc.opts.MaxEvictionDepth {
+		return fmt.Errorf("eviction recursion exceeded depth %d", cc.opts.MaxEvictionDepth)
+	}
+	route, err := cc.router.Route(src, dst)
+	if err != nil {
+		return err
+	}
+	routeTraps := []int{dst}
+	for _, tr := range route.PassThroughs() {
+		routeTraps = append(routeTraps, tr.Trap)
+	}
+	protected := make([]int, 0, len(keep)+1)
+	protected = append(protected, keep...)
+	protected = append(protected, q)
+
+	cc.reorderToEnd(q, src, route.SrcEnd, gi)
+	cc.addOp(isa.Op{
+		Kind: isa.OpSplit, Qubits: []int{q}, Trap: src, End: route.SrcEnd, GateIndex: gi,
+	}, true)
+	cc.removeFromChain(q, src)
+
+	for _, hop := range route.Hops {
+		cc.addOp(isa.Op{
+			Kind: isa.OpMove, Qubits: []int{q}, Trap: -1, Segment: hop.Segment, GateIndex: gi,
+		}, false)
+		switch hop.Node.Kind {
+		case device.NodeJunction:
+			cc.addOp(isa.Op{
+				Kind: isa.OpJunctionCross, Qubits: []int{q}, Trap: -1,
+				Junction: hop.Node.Index, GateIndex: gi,
+			}, false)
+		case device.NodeTrap:
+			t := hop.Node.Index
+			for len(cc.chains[t]) >= cc.dev.Capacity {
+				if err := cc.evictOne(t, routeTraps, depth, protected); err != nil {
+					return err
+				}
+			}
+			cc.addOp(isa.Op{
+				Kind: isa.OpMerge, Qubits: []int{q}, Trap: t, End: hop.EnterEnd, GateIndex: gi,
+			}, true)
+			cc.insertIntoChain(q, t, hop.EnterEnd)
+			if t != dst {
+				// Pass-through: reposition to the far end and split back
+				// out (Figure 4).
+				exit := hop.EnterEnd.Opposite()
+				cc.reorderToEnd(q, t, exit, gi)
+				cc.addOp(isa.Op{
+					Kind: isa.OpSplit, Qubits: []int{q}, Trap: t, End: exit, GateIndex: gi,
+				}, true)
+				cc.removeFromChain(q, t)
+			}
+		}
+	}
+	return nil
+}
+
+// evictOne moves one ion out of full trap t to make room. The victim is
+// the resident qubit with the farthest next use (Belady's rule); it is
+// sent to the nearest trap with room, preferring traps outside softAvoid.
+func (cc *compilation) evictOne(t int, softAvoid []int, depth int, keep []int) error {
+	victim, victimUse := -1, -1
+	for _, q := range cc.chains[t] {
+		if contains(keep, q) {
+			continue
+		}
+		if use := cc.nextUse(q); use > victimUse {
+			victimUse = use
+			victim = q
+		}
+	}
+	if victim < 0 {
+		return fmt.Errorf("trap %d full and nothing evictable", t)
+	}
+	dest := cc.nearestSpace(t, softAvoid)
+	if dest < 0 {
+		dest = cc.nearestSpace(t, nil)
+	}
+	if dest < 0 {
+		return fmt.Errorf("device full: no trap has room to rebalance from trap %d", t)
+	}
+	return cc.shuttle(victim, t, dest, -1, depth+1, keep)
+}
+
+// nextUse returns the next gate index that will use q, or a large sentinel
+// when q is never used again. Gates on one qubit are emitted in program
+// order, so the per-qubit emitted-use count is a cursor into useLists.
+func (cc *compilation) nextUse(q int) int {
+	uses := cc.useLists[q]
+	if cc.useCounts[q] >= len(uses) {
+		return 1 << 30
+	}
+	return uses[cc.useCounts[q]]
+}
+
+// nearestSpace returns the trap with free capacity closest to t that is
+// not in the avoid set, or -1 when none exists.
+func (cc *compilation) nearestSpace(t int, avoid []int) int {
+	best, bestDist := -1, 0.0
+	for cand := 0; cand < cc.dev.NumTraps(); cand++ {
+		if cand == t || len(cc.chains[cand]) >= cc.dev.Capacity || contains(avoid, cand) {
+			continue
+		}
+		dist, err := cc.router.Distance(t, cand)
+		if err != nil {
+			continue
+		}
+		if best < 0 || dist < bestDist {
+			best, bestDist = cand, dist
+		}
+	}
+	return best
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// reorderToEnd brings qubit q to the given chain end of trap t using the
+// configured reordering method, emitting the necessary ops.
+func (cc *compilation) reorderToEnd(q, t int, end device.End, gi int) {
+	chain := cc.chains[t]
+	pos := cc.position(q, t)
+	target := 0
+	if end == device.Right {
+		target = len(chain) - 1
+	}
+	if pos == target {
+		return
+	}
+	switch cc.opts.Reorder {
+	case models.GS:
+		other := chain[target]
+		cc.addOp(isa.Op{
+			Kind: isa.OpSwapGS, Qubits: []int{q, other}, Trap: t, GateIndex: gi,
+		}, true)
+		chain[pos], chain[target] = chain[target], chain[pos]
+	case models.IS:
+		step := 1
+		if target < pos {
+			step = -1
+		}
+		for p := pos; p != target; p += step {
+			neighbor := chain[p+step]
+			cc.addOp(isa.Op{
+				Kind: isa.OpIonSwap, Qubits: []int{q, neighbor}, Trap: t, GateIndex: gi,
+			}, true)
+			chain[p], chain[p+step] = chain[p+step], chain[p]
+		}
+	}
+}
+
+// position returns q's index within trap t's chain.
+func (cc *compilation) position(q, t int) int {
+	for i, x := range cc.chains[t] {
+		if x == q {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("compiler: qubit %d not in trap %d", q, t))
+}
+
+// removeFromChain detaches q from trap t's chain end.
+func (cc *compilation) removeFromChain(q, t int) {
+	chain := cc.chains[t]
+	switch {
+	case len(chain) > 0 && chain[0] == q:
+		cc.chains[t] = chain[1:]
+	case len(chain) > 0 && chain[len(chain)-1] == q:
+		cc.chains[t] = chain[:len(chain)-1]
+	default:
+		panic(fmt.Sprintf("compiler: split of qubit %d not at an end of trap %d (%v)", q, t, chain))
+	}
+	cc.trapOf[q] = -1
+}
+
+// insertIntoChain attaches q at the given end of trap t's chain.
+func (cc *compilation) insertIntoChain(q, t int, end device.End) {
+	if end == device.Left {
+		cc.chains[t] = append([]int{q}, cc.chains[t]...)
+	} else {
+		cc.chains[t] = append(append([]int(nil), cc.chains[t]...), q)
+	}
+	cc.trapOf[q] = t
+}
+
+// addOp finalizes an op: assigns its ID, derives its dependencies, updates
+// the per-qubit and per-trap bookkeeping, and appends it.
+func (cc *compilation) addOp(op isa.Op, structural bool) int {
+	id := len(cc.ops)
+	op.ID = id
+	if op.Kind != isa.OpMove {
+		op.Segment = -1
+	}
+	if op.Kind != isa.OpJunctionCross {
+		op.Junction = -1
+	}
+	deps := map[int]bool{}
+	for _, q := range op.Qubits {
+		if last := cc.lastOfQubit[q]; last >= 0 {
+			deps[last] = true
+		}
+	}
+	if structural {
+		if last := cc.lastStructure[op.Trap]; last >= 0 {
+			deps[last] = true
+		}
+	}
+	if len(deps) > 0 {
+		op.Deps = make([]int, 0, len(deps))
+		for d := range deps {
+			op.Deps = append(op.Deps, d)
+		}
+		sort.Ints(op.Deps)
+	}
+	for _, q := range op.Qubits {
+		cc.lastOfQubit[q] = id
+	}
+	if structural {
+		cc.lastStructure[op.Trap] = id
+	}
+	if op.Kind.Category() == isa.CatCompute && op.GateIndex >= 0 {
+		for _, q := range op.Qubits {
+			cc.useCounts[q]++
+		}
+	}
+	cc.ops = append(cc.ops, op)
+	return id
+}

@@ -1,0 +1,146 @@
+// Package core implements the paper's primary contribution: the design
+// toolflow of Figure 3. A Toolflow takes a candidate QCCD architecture
+// (topology spec, trap capacity, gate implementation, reordering method),
+// a NISQ application, and the physical performance models, runs the
+// backend compiler and the discrete-event simulator, and returns the
+// application metrics (run time, reliability) and device metrics (heating
+// rates, shuttling activity) that drive the architectural study.
+//
+// The Toolflow caches benchmark circuits and evaluates independent design
+// points concurrently, which is what makes the full Figure 6-8 parameter
+// sweeps (hundreds of compile+simulate runs) complete in seconds.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/circuit"
+	"repro/internal/compiler"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// Point identifies one design point: an application on a device
+// configuration under one microarchitecture.
+type Point struct {
+	// App names a Table II benchmark (see internal/apps).
+	App string
+	// Topology is a device spec such as "L6" or "G2x3".
+	Topology string
+	// Capacity is the per-trap ion limit.
+	Capacity int
+	// Gate selects the two-qubit MS implementation.
+	Gate models.GateImpl
+	// Reorder selects the chain reordering method.
+	Reorder models.ReorderMethod
+}
+
+// String renders the point compactly, e.g. "QFT/L6/cap22/FM-GS".
+func (p Point) String() string {
+	return fmt.Sprintf("%s/%s/cap%d/%s-%s", p.App, p.Topology, p.Capacity, p.Gate, p.Reorder)
+}
+
+// Outcome pairs a design point with its simulation result or error.
+type Outcome struct {
+	Point  Point
+	Result *sim.Result
+	Err    error
+}
+
+// Toolflow executes design points with cached circuits. It is safe for
+// concurrent use after construction.
+type Toolflow struct {
+	base     models.Params
+	mu       sync.Mutex
+	circuits map[string]*circuit.Circuit
+}
+
+// New returns a toolflow whose physical parameters default to base (the
+// per-point gate implementation overrides base.Gate).
+func New(base models.Params) *Toolflow {
+	return &Toolflow{base: base, circuits: make(map[string]*circuit.Circuit)}
+}
+
+// circuitFor builds or fetches the cached circuit for an app name.
+func (tf *Toolflow) circuitFor(app string) (*circuit.Circuit, error) {
+	tf.mu.Lock()
+	defer tf.mu.Unlock()
+	if c, ok := tf.circuits[app]; ok {
+		return c, nil
+	}
+	c, err := apps.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	tf.circuits[app] = c
+	return c, nil
+}
+
+// Run executes a single design point: build device, compile, simulate.
+func (tf *Toolflow) Run(pt Point) Outcome {
+	c, err := tf.circuitFor(pt.App)
+	if err != nil {
+		return Outcome{Point: pt, Err: err}
+	}
+	dev, err := device.Parse(pt.Topology, pt.Capacity)
+	if err != nil {
+		return Outcome{Point: pt, Err: err}
+	}
+	opts := compiler.DefaultOptions()
+	opts.Reorder = pt.Reorder
+	prog, err := compiler.Compile(c, dev, opts)
+	if err != nil {
+		return Outcome{Point: pt, Err: fmt.Errorf("%s: %w", pt, err)}
+	}
+	params := tf.base
+	params.Gate = pt.Gate
+	res, err := sim.Run(prog, dev, params)
+	if err != nil {
+		return Outcome{Point: pt, Err: fmt.Errorf("%s: %w", pt, err)}
+	}
+	return Outcome{Point: pt, Result: res}
+}
+
+// Sweep executes all points concurrently (bounded by GOMAXPROCS) and
+// returns outcomes in input order.
+func (tf *Toolflow) Sweep(points []Point) []Outcome {
+	out := make([]Outcome, len(points))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = tf.Run(points[i])
+			}
+		}()
+	}
+	for i := range points {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// CapacitySweep builds points for one app/topology/microarch across a
+// trap-capacity grid.
+func CapacitySweep(app, topology string, gate models.GateImpl, reorder models.ReorderMethod, capacities []int) []Point {
+	var pts []Point
+	for _, cap := range capacities {
+		pts = append(pts, Point{App: app, Topology: topology, Capacity: cap, Gate: gate, Reorder: reorder})
+	}
+	return pts
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestToolflowRun(t *testing.T) {
+	tf := New(models.Default())
+	o := tf.Run(Point{App: "Adder", Topology: "L6", Capacity: 20, Gate: models.AM2, Reorder: models.GS})
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.Result.Fidelity <= 0 || o.Result.Fidelity > 1 {
+		t.Errorf("fidelity = %g", o.Result.Fidelity)
+	}
+	if o.Result.TotalSeconds() <= 0 {
+		t.Error("zero run time")
+	}
+}
+
+func TestToolflowErrorPaths(t *testing.T) {
+	tf := New(models.Default())
+	cases := []Point{
+		{App: "missing", Topology: "L6", Capacity: 20},
+		{App: "BV", Topology: "X1", Capacity: 20},
+		{App: "QFT", Topology: "L2", Capacity: 4}, // too small for 64 qubits
+	}
+	for _, pt := range cases {
+		if o := tf.Run(pt); o.Err == nil {
+			t.Errorf("%s: expected error", pt)
+		}
+	}
+}
+
+func TestToolflowBadParams(t *testing.T) {
+	p := models.Default()
+	p.SplitTime = -1
+	tf := New(p)
+	o := tf.Run(Point{App: "BV", Topology: "L6", Capacity: 20, Gate: models.FM})
+	if o.Err == nil {
+		t.Error("invalid params should surface as an outcome error")
+	}
+}
+
+func TestCircuitCacheSharedAcrossPoints(t *testing.T) {
+	tf := New(models.Default())
+	a, err := tf.circuitFor("QFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tf.circuitFor("QFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("circuit cache should return the same instance")
+	}
+}
+
+func TestSweepMatchesSerialRuns(t *testing.T) {
+	tf := New(models.Default())
+	pts := CapacitySweep("BV", "L6", models.FM, models.GS, []int{14, 22, 30})
+	parallel := tf.Sweep(pts)
+	for i, pt := range pts {
+		serial := tf.Run(pt)
+		if serial.Err != nil || parallel[i].Err != nil {
+			t.Fatalf("errors: %v %v", serial.Err, parallel[i].Err)
+		}
+		if serial.Result.Fidelity != parallel[i].Result.Fidelity ||
+			serial.Result.TotalTime != parallel[i].Result.TotalTime {
+			t.Errorf("point %d: parallel result differs from serial", i)
+		}
+	}
+}
+
+func TestSweepEmptyAndConcurrentSafety(t *testing.T) {
+	tf := New(models.Default())
+	if out := tf.Sweep(nil); len(out) != 0 {
+		t.Error("empty sweep should return empty")
+	}
+	// Concurrent use of one toolflow from multiple goroutines.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := tf.Run(Point{App: "BV", Topology: "L6", Capacity: 18, Gate: models.FM})
+			if o.Err != nil {
+				t.Error(o.Err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCapacitySweepShape(t *testing.T) {
+	pts := CapacitySweep("QFT", "G2x3", models.PM, models.IS, []int{10, 20})
+	if len(pts) != 2 || pts[0].Capacity != 10 || pts[1].Capacity != 20 {
+		t.Errorf("points = %v", pts)
+	}
+	if pts[0].Gate != models.PM || pts[0].Reorder != models.IS {
+		t.Error("microarchitecture not propagated")
+	}
+}

@@ -1,0 +1,34 @@
+package device
+
+import "fmt"
+
+// NewRing builds an R<n> device: n traps in a cycle, i.e. a linear
+// array with one extra segment closing the loop. Rings are not evaluated
+// in the paper but are a natural QCCD variant: the wraparound halves the
+// worst-case trap distance of a line at the cost of one segment, with no
+// junctions. Requires at least 3 traps.
+func NewRing(traps, capacity int) (*Device, error) {
+	if traps < 3 {
+		return nil, fmt.Errorf("device: ring needs >=3 traps, got %d", traps)
+	}
+	d := &Device{Name: fmt.Sprintf("R%d", traps), Capacity: capacity}
+	for i := 0; i < traps; i++ {
+		d.Traps = append(d.Traps, &Trap{ID: i, Name: fmt.Sprintf("T%d", i), Seg: [2]int{-1, -1}})
+	}
+	for i := 0; i < traps; i++ {
+		next := (i + 1) % traps
+		sid := len(d.Segments)
+		d.Segments = append(d.Segments, &Segment{
+			ID:     sid,
+			A:      Endpoint{Node: NodeRef{NodeTrap, i}, TrapEnd: Right},
+			B:      Endpoint{Node: NodeRef{NodeTrap, next}, TrapEnd: Left},
+			Length: 1,
+		})
+		d.Traps[i].Seg[Right] = sid
+		d.Traps[next].Seg[Left] = sid
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

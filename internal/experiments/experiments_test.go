@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestRunnerSinglePoint(t *testing.T) {
+	r := NewRunner(models.Default())
+	o := r.Run(Point{App: "BV", Topology: "L6", Capacity: 20, Gate: models.FM, Reorder: models.GS})
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.Result.Fidelity <= 0 || o.Result.Fidelity > 1 {
+		t.Errorf("fidelity = %g", o.Result.Fidelity)
+	}
+	if o.Point.String() != "BV/L6/cap20/FM-GS" {
+		t.Errorf("point string = %q", o.Point.String())
+	}
+}
+
+func TestRunnerBadPoints(t *testing.T) {
+	r := NewRunner(models.Default())
+	if o := r.Run(Point{App: "nope", Topology: "L6", Capacity: 20}); o.Err == nil {
+		t.Error("unknown app should fail")
+	}
+	if o := r.Run(Point{App: "BV", Topology: "Z9", Capacity: 20}); o.Err == nil {
+		t.Error("bad topology should fail")
+	}
+	if o := r.Run(Point{App: "QFT", Topology: "L6", Capacity: 5}); o.Err == nil {
+		t.Error("undersized device should fail")
+	}
+}
+
+func TestSweepPreservesOrderAndParallelism(t *testing.T) {
+	r := NewRunner(models.Default())
+	pts := CapacitySweep("BV", "L6", models.FM, models.GS, []int{14, 18, 22})
+	outs := r.Sweep(pts)
+	if len(outs) != 3 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	for i, o := range outs {
+		if o.Point.Capacity != pts[i].Capacity {
+			t.Errorf("outcome %d capacity = %d, want %d", i, o.Point.Capacity, pts[i].Capacity)
+		}
+		if o.Err != nil {
+			t.Errorf("outcome %d: %v", i, o.Err)
+		}
+	}
+	// Sweep must be deterministic across runs despite concurrency.
+	again := r.Sweep(pts)
+	for i := range outs {
+		if outs[i].Result.Fidelity != again[i].Result.Fidelity {
+			t.Errorf("sweep nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestTable1ContainsTableIRows(t *testing.T) {
+	out := Table1(models.Default())
+	for _, want := range []string{"Move ion", "Splitting", "Merging", "Y-junction", "X-junction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2MatchesSuite(t *testing.T) {
+	out, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range PaperApps {
+		if !strings.Contains(out, app) {
+			t.Errorf("Table2 missing %s:\n%s", app, out)
+		}
+	}
+	if !strings.Contains(out, "4032") {
+		t.Errorf("Table2 missing QFT gate count:\n%s", out)
+	}
+}
+
+// TestFig6PaperShape regenerates Figure 6 and asserts the paper's §IX.A
+// claims at the shape level.
+func TestFig6PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	f, err := RunFig6(models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim: trap sizing matters — Supremacy best/worst fidelity ratio is
+	// large (paper: ~15x; we accept >= 3x as shape agreement).
+	if ratio := maxOver(f.Fidelity["Supremacy"]) / minOver(f.Fidelity["Supremacy"]); ratio < 3 {
+		t.Errorf("Supremacy fidelity ratio = %.1f, want >= 3", ratio)
+	}
+	// Claim: the best capacity lies mid-range (15-25 in the paper; we
+	// accept an interior peak, i.e. not the smallest capacity).
+	if best := argmax(f.Capacities, f.Fidelity["Supremacy"]); best <= 14 {
+		t.Errorf("Supremacy fidelity peaks at capacity %d, want interior", best)
+	}
+	// Claim (Fig 6f): motional energy decreases with capacity for the
+	// communication-heavy apps.
+	for _, app := range []string{"SquareRoot", "QFT"} {
+		series := f.MaxMotional[app]
+		if series[0] <= series[len(series)-1] {
+			t.Errorf("%s motional energy should fall with capacity: %v", app, series)
+		}
+	}
+	// Claim (Fig 6g): motional error dominates background error.
+	for i := range f.SupremacyMotional {
+		if f.SupremacyMotional[i] < 2*f.SupremacyBackground[i] {
+			t.Errorf("cap %d: motional %.2e should dominate background %.2e",
+				f.Capacities[i], f.SupremacyMotional[i], f.SupremacyBackground[i])
+		}
+	}
+	// Claim (Fig 6b): QFT communication falls with capacity while
+	// computation rises.
+	if f.QFTComm[0] <= f.QFTComm[len(f.QFTComm)-1] {
+		t.Errorf("QFT communication time should fall with capacity: %v", f.QFTComm)
+	}
+	if f.QFTCompute[0] >= f.QFTCompute[len(f.QFTCompute)-1] {
+		t.Errorf("QFT computation time should rise with capacity: %v", f.QFTCompute)
+	}
+	// Rendering smoke check.
+	out := f.Render()
+	for _, want := range []string{"Figure 6", "(a)", "(g)", "Supremacy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestFig7PaperShape regenerates Figure 7 and asserts the §IX.B claims.
+func TestFig7PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	f, err := RunFig7(models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim: grid boosts SquareRoot by orders of magnitude (paper: up to
+	// 7000x; we require >= 50x somewhere in the sweep).
+	if gain := bestFidelityGain(f.Fidelity["G2x3"]["SquareRoot"], f.Fidelity["L6"]["SquareRoot"]); gain < 50 {
+		t.Errorf("SquareRoot grid gain = %.1fx, want >= 50x", gain)
+	}
+	// Claim: linear wins for QFT (paper: up to 4x).
+	if gain := bestFidelityGain(f.Fidelity["L6"]["QFT"], f.Fidelity["G2x3"]["QFT"]); gain < 1.2 {
+		t.Errorf("QFT linear gain = %.2fx, want >= 1.2x", gain)
+	}
+	// Claim (Fig 7g): grid reduces SquareRoot motional heating at small
+	// capacities.
+	if f.SqrtMotional["G2x3"][0] >= f.SqrtMotional["L6"][0] {
+		t.Errorf("grid should be cooler at cap 14: grid %.1f vs linear %.1f",
+			f.SqrtMotional["G2x3"][0], f.SqrtMotional["L6"][0])
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure 7", "SquareRoot", "grid-over-linear"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestFig8PaperShape regenerates Figure 8 and asserts the §X claims.
+func TestFig8PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	f, err := RunFig8(models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	// Claim: AM2 beats AM1 on fidelity for the short-range QAOA.
+	if mean(f.Fidelity["QAOA"]["AM2-GS"]) <= mean(f.Fidelity["QAOA"]["AM1-GS"]) {
+		t.Error("AM2 should beat AM1 for QAOA (short-range gates)")
+	}
+	// Claim: FM beats AM1 for the long-range QFT.
+	if mean(f.Fidelity["QFT"]["FM-GS"]) <= mean(f.Fidelity["QFT"]["AM1-GS"]) {
+		t.Error("FM should beat AM1 for QFT (long-range gates)")
+	}
+	// Claim: AM2 is the fastest for QAOA; FM/PM are faster than AM1 for
+	// SquareRoot.
+	if mean(f.Time["QAOA"]["AM2-GS"]) >= mean(f.Time["QAOA"]["FM-GS"]) {
+		t.Error("AM2 should be faster than FM for QAOA")
+	}
+	if mean(f.Time["SquareRoot"]["FM-GS"]) >= mean(f.Time["SquareRoot"]["AM1-GS"]) {
+		t.Error("FM should be faster than AM1 for SquareRoot")
+	}
+	// Claim: GS vastly outperforms IS for reorder-heavy apps.
+	gsOverIS := mean(f.Fidelity["SquareRoot"]["FM-GS"]) / mean(f.Fidelity["SquareRoot"]["FM-IS"])
+	if gsOverIS < 100 {
+		t.Errorf("SquareRoot GS/IS = %.1f, want >= 100", gsOverIS)
+	}
+	// Claim: QAOA's GS and IS curves match exactly where no reordering is
+	// required (paper Fig 8c) — identical at every capacity >= 18.
+	for i, cap := range f.Capacities {
+		if cap < 18 {
+			continue
+		}
+		if f.Fidelity["QAOA"]["FM-GS"][i] != f.Fidelity["QAOA"]["FM-IS"][i] {
+			t.Errorf("QAOA GS/IS should match exactly at cap %d", cap)
+		}
+	}
+	out := f.Render()
+	if !strings.Contains(out, "AM1-GS") || !strings.Contains(out, "FM-IS") {
+		t.Error("render missing combo labels")
+	}
+}
+
+func maxOver(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOver(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func argmax(xs []int, vals []float64) int {
+	best, bestV := xs[0], vals[0]
+	for i := range xs {
+		if vals[i] > bestV {
+			best, bestV = xs[i], vals[i]
+		}
+	}
+	return best
+}
+
+// TestScalingStudy exercises the beyond-paper extension end to end.
+func TestScalingStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scaling sweep")
+	}
+	s, err := RunScaling(models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 20 { // 5 sizes x 2 apps x 2 topologies
+		t.Fatalf("rows = %d, want 20", len(s.Rows))
+	}
+	for _, r := range s.Rows {
+		if r.Result.Fidelity <= 0 {
+			t.Errorf("%s/%d on %s: non-positive fidelity", r.App, r.Qubits, r.Topology)
+		}
+		if r.Qubits > r.Traps*r.Capacity {
+			t.Errorf("%s/%d: device too small (%d traps x %d)", r.App, r.Qubits, r.Traps, r.Capacity)
+		}
+	}
+	out := s.Render()
+	if !strings.Contains(out, "200") || !strings.Contains(out, "QFT") {
+		t.Error("render content")
+	}
+	var csv strings.Builder
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "app,qubits") {
+		t.Error("csv header missing")
+	}
+}
+
+// TestFigureCSVExports checks the long-format CSV writers.
+func TestFigureCSVExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	f6, err := RunFig6(models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f6.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"figure,panel,series,capacity,value", "fig6,a_time_s,QFT,14", "g_supremacy_ms_error,Motional"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 csv missing %q", want)
+		}
+	}
+	f7, err := RunFig7(models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := f7.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "G2x3/SquareRoot") {
+		t.Error("fig7 csv series")
+	}
+	f8, err := RunFig8(models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := f8.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "QAOA/AM2-GS") {
+		t.Error("fig8 csv series")
+	}
+}

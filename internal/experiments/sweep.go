@@ -1,0 +1,34 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VIII-§X): Table I (operation times), Table II (workload
+// characteristics), Figure 6 (trap sizing on L6), Figure 7 (linear vs grid
+// topology) and Figure 8 (gate implementation × chain reordering
+// microarchitecture study), plus a beyond-the-paper device scaling study.
+// Each figure function drives the core design toolflow over the paper's
+// parameter grid and renders the series the paper plots.
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// PaperCapacities is the trap-capacity sweep of Figures 6-8.
+var PaperCapacities = []int{14, 18, 22, 26, 30, 34}
+
+// Point, Outcome and Runner alias the core toolflow types; the experiment
+// harness is a thin orchestration layer over them.
+type (
+	Point   = core.Point
+	Outcome = core.Outcome
+	Runner  = core.Toolflow
+)
+
+// NewRunner returns a toolflow whose physical parameters default to base
+// (the per-point gate implementation overrides base.Gate).
+func NewRunner(base models.Params) *Runner { return core.New(base) }
+
+// CapacitySweep builds points for one app/topology/microarch across the
+// paper's capacity grid.
+func CapacitySweep(app, topology string, gate models.GateImpl, reorder models.ReorderMethod, capacities []int) []Point {
+	return core.CapacitySweep(app, topology, gate, reorder, capacities)
+}

@@ -1,0 +1,102 @@
+// Package heating implements the motional-energy model of §VII.B: every
+// ion chain is a quantized oscillator whose energy (in quanta) starts at
+// zero and only grows. Splitting a chain divides its energy in proportion
+// to the sub-chain sizes and adds k1 quanta to each part; merging sums the
+// two energies and adds k1; moving an ion adds k2 quanta per segment unit
+// traversed. There is no re-cooling, which is why communication-heavy
+// executions accumulate the motional hot spots the paper analyzes.
+package heating
+
+import "fmt"
+
+// Split divides the energy of an n-ion chain with energy e into the
+// energies of two sub-chains of nA and nB ions (nA+nB == n), adding k1
+// quanta to each part (§VII.B). It panics on impossible sizes, which would
+// indicate a simulator bookkeeping bug rather than a user error.
+func Split(e float64, nA, nB int, k1 float64) (eA, eB float64) {
+	if nA < 1 || nB < 1 {
+		panic(fmt.Sprintf("heating: split into sizes %d,%d", nA, nB))
+	}
+	n := float64(nA + nB)
+	eA = e*float64(nA)/n + k1
+	eB = e*float64(nB)/n + k1
+	return eA, eB
+}
+
+// Merge combines two chain energies, adding the k1 quanta needed to stop
+// the chains and prevent collisions (§VII.B).
+func Merge(e1, e2, k1 float64) float64 { return e1 + e2 + k1 }
+
+// Move returns the energy of a shuttled chain after traversing the given
+// number of segment length units, picking up k2 quanta per unit.
+func Move(e float64, units int, k2 float64) float64 {
+	if units < 0 {
+		panic(fmt.Sprintf("heating: negative move distance %d", units))
+	}
+	return e + float64(units)*k2
+}
+
+// IonSwapHop returns the chain energy after one physical ion-swap hop:
+// the pair is split out (+k1 to both parts), rotated, and merged back
+// (+k1), for a net +3·k1 regardless of chain size (§IV.C).
+func IonSwapHop(e, k1 float64) float64 {
+	// Split: pair and remainder each gain k1 while sharing e; merge adds
+	// one more k1 over the recombined sum.
+	return e + 3*k1
+}
+
+// Tracker records the maximum chain energy ever observed per trap, the
+// device-wide maximum, and cumulative heating-event counts — the data
+// behind Figure 6f and Figure 7g.
+type Tracker struct {
+	maxPerTrap []float64
+	splits     int
+	merges     int
+	moves      int
+	junctions  int
+	ionSwaps   int
+}
+
+// NewTracker returns a tracker for a device with numTraps traps.
+func NewTracker(numTraps int) *Tracker {
+	return &Tracker{maxPerTrap: make([]float64, numTraps)}
+}
+
+// Observe records the current energy of the chain in trap t.
+func (t *Tracker) Observe(trap int, energy float64) {
+	if energy > t.maxPerTrap[trap] {
+		t.maxPerTrap[trap] = energy
+	}
+}
+
+// CountSplit, CountMerge, CountMove, CountJunction and CountIonSwap
+// increment the respective event counters.
+func (t *Tracker) CountSplit()    { t.splits++ }
+func (t *Tracker) CountMerge()    { t.merges++ }
+func (t *Tracker) CountMove()     { t.moves++ }
+func (t *Tracker) CountJunction() { t.junctions++ }
+func (t *Tracker) CountIonSwap()  { t.ionSwaps++ }
+
+// MaxEnergy returns the largest chain energy observed anywhere on the
+// device (Figure 6f's "Max Motional Energy").
+func (t *Tracker) MaxEnergy() float64 {
+	max := 0.0
+	for _, e := range t.maxPerTrap {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// MaxEnergyPerTrap returns a copy of the per-trap maxima.
+func (t *Tracker) MaxEnergyPerTrap() []float64 {
+	out := make([]float64, len(t.maxPerTrap))
+	copy(out, t.maxPerTrap)
+	return out
+}
+
+// Counts returns the cumulative shuttling-event counts.
+func (t *Tracker) Counts() (splits, merges, moves, junctions, ionSwaps int) {
+	return t.splits, t.merges, t.moves, t.junctions, t.ionSwaps
+}

@@ -1,0 +1,150 @@
+package heating
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitProportionalShares(t *testing.T) {
+	eA, eB := Split(10, 1, 4, 0.1)
+	if math.Abs(eA-(10.0/5+0.1)) > 1e-12 {
+		t.Errorf("eA = %g", eA)
+	}
+	if math.Abs(eB-(10.0*4/5+0.1)) > 1e-12 {
+		t.Errorf("eB = %g", eB)
+	}
+}
+
+func TestSplitConservationPlusK1(t *testing.T) {
+	// Property: split conserves energy up to the 2·k1 added quanta, and
+	// both parts are at least k1.
+	f := func(eRaw uint16, nARaw, nBRaw uint8) bool {
+		e := float64(eRaw) / 100
+		nA := int(nARaw%20) + 1
+		nB := int(nBRaw%20) + 1
+		const k1 = 0.1
+		eA, eB := Split(e, nA, nB, k1)
+		if eA < k1 || eB < k1 {
+			return false
+		}
+		return math.Abs((eA+eB)-(e+2*k1)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split with zero-size part should panic")
+		}
+	}()
+	Split(1, 0, 3, 0.1)
+}
+
+func TestMergeAddsK1(t *testing.T) {
+	if got := Merge(1.5, 2.5, 0.1); math.Abs(got-4.1) > 1e-12 {
+		t.Errorf("Merge = %g, want 4.1", got)
+	}
+}
+
+func TestMovePerUnit(t *testing.T) {
+	if got := Move(1, 7, 0.01); math.Abs(got-1.07) > 1e-12 {
+		t.Errorf("Move = %g, want 1.07", got)
+	}
+	if got := Move(1, 0, 0.01); got != 1 {
+		t.Errorf("zero-unit move changed energy: %g", got)
+	}
+}
+
+func TestMovePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative move should panic")
+		}
+	}()
+	Move(1, -1, 0.01)
+}
+
+func TestIonSwapHop(t *testing.T) {
+	if got := IonSwapHop(2, 0.1); math.Abs(got-2.3) > 1e-12 {
+		t.Errorf("IonSwapHop = %g, want 2.3", got)
+	}
+}
+
+func TestEnergyMonotoneUnderAnySequence(t *testing.T) {
+	// Property: total device energy never decreases under any random
+	// sequence of split/merge/move events (no cooling in the model).
+	f := func(ops []uint8) bool {
+		const k1, k2 = 0.1, 0.01
+		// Two chains with sizes and energies.
+		e := []float64{0, 0}
+		n := []int{5, 5}
+		total := 0.0
+		for _, op := range ops {
+			prev := e[0] + e[1]
+			switch op % 3 {
+			case 0: // split one ion off chain 0 into chain 1 (if possible)
+				if n[0] > 1 {
+					ion, rest := Split(e[0], 1, n[0]-1, k1)
+					e[0] = rest
+					e[1] = Merge(e[1], Move(ion, int(op%4), k2), k1)
+					n[0]--
+					n[1]++
+				}
+			case 1: // same, other direction
+				if n[1] > 1 {
+					ion, rest := Split(e[1], 1, n[1]-1, k1)
+					e[1] = rest
+					e[0] = Merge(e[0], Move(ion, int(op%4), k2), k1)
+					n[1]--
+					n[0]++
+				}
+			default:
+				e[0] = IonSwapHop(e[0], k1)
+			}
+			if e[0]+e[1] < prev-1e-9 {
+				return false
+			}
+			total = e[0] + e[1]
+		}
+		return total >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker(3)
+	tr.Observe(0, 1.5)
+	tr.Observe(1, 4.0)
+	tr.Observe(1, 2.0) // lower, should not overwrite max
+	tr.Observe(2, 0.5)
+	if got := tr.MaxEnergy(); got != 4.0 {
+		t.Errorf("MaxEnergy = %g, want 4.0", got)
+	}
+	per := tr.MaxEnergyPerTrap()
+	if per[0] != 1.5 || per[1] != 4.0 || per[2] != 0.5 {
+		t.Errorf("per-trap maxima = %v", per)
+	}
+	tr.CountSplit()
+	tr.CountSplit()
+	tr.CountMerge()
+	tr.CountMove()
+	tr.CountJunction()
+	tr.CountIonSwap()
+	s, m, mv, j, is := tr.Counts()
+	if s != 2 || m != 1 || mv != 1 || j != 1 || is != 1 {
+		t.Errorf("counts = %d %d %d %d %d", s, m, mv, j, is)
+	}
+}
+
+func TestTrackerEmptyDevice(t *testing.T) {
+	tr := NewTracker(0)
+	if tr.MaxEnergy() != 0 {
+		t.Error("empty tracker max should be 0")
+	}
+}

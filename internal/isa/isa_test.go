@@ -1,0 +1,110 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+func validProgram() *Program {
+	return &Program{
+		Name:          "t",
+		NumQubits:     3,
+		DeviceName:    "L2",
+		InitialLayout: [][]int{{0, 1}, {2}},
+		Ops: []Op{
+			{ID: 0, Kind: OpGate1, Qubits: []int{0}, Trap: 0, Gate: circuit.GateH, Segment: -1, Junction: -1, GateIndex: 0},
+			{ID: 1, Kind: OpSplit, Qubits: []int{0}, Trap: 0, End: device.Right, Segment: -1, Junction: -1, GateIndex: -1, Deps: []int{0}},
+			{ID: 2, Kind: OpMove, Qubits: []int{0}, Trap: -1, Segment: 0, Junction: -1, GateIndex: -1, Deps: []int{1}},
+			{ID: 3, Kind: OpMerge, Qubits: []int{0}, Trap: 1, End: device.Left, Segment: -1, Junction: -1, GateIndex: -1, Deps: []int{2}},
+			{ID: 4, Kind: OpGate2, Qubits: []int{0, 2}, Trap: 1, Gate: circuit.GateCNOT, Segment: -1, Junction: -1, GateIndex: 1, Deps: []int{3}},
+		},
+	}
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	corrupt := []func(*Program){
+		func(p *Program) { p.Ops[2].Segment = -1 },                  // move without segment
+		func(p *Program) { p.Ops[0].Trap = -1 },                     // gate without trap
+		func(p *Program) { p.Ops[4].Deps = []int{9} },               // forward dep
+		func(p *Program) { p.Ops[4].Deps = []int{-1} },              // negative dep
+		func(p *Program) { p.Ops[4].Qubits = []int{0} },             // wrong arity
+		func(p *Program) { p.Ops[0].Qubits = []int{5} },             // qubit range
+		func(p *Program) { p.Ops[1].ID = 7 },                        // ID mismatch
+		func(p *Program) { p.InitialLayout = [][]int{{0, 0}, {2}} }, // dup layout
+		func(p *Program) { p.InitialLayout = [][]int{{0}, {2}} },    // missing qubit
+		func(p *Program) { p.InitialLayout[0][0] = 9 },              // layout range
+	}
+	for i, mutate := range corrupt {
+		p := validProgram()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("corruption %d not caught", i)
+		}
+	}
+}
+
+func TestCategories(t *testing.T) {
+	if OpGate2.Category() != CatCompute || OpMeasure.Category() != CatCompute {
+		t.Error("gates should be compute")
+	}
+	for _, k := range []OpKind{OpSplit, OpMove, OpJunctionCross, OpMerge, OpSwapGS, OpIonSwap} {
+		if k.Category() != CatComm {
+			t.Errorf("%s should be comm", k)
+		}
+	}
+	if CatCompute.String() != "compute" || CatComm.String() != "comm" {
+		t.Error("category names")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := validProgram()
+	if p.CountKind(OpGate1) != 1 || p.CountKind(OpMove) != 1 {
+		t.Error("CountKind")
+	}
+	if got := p.CommOps(); got != 3 {
+		t.Errorf("CommOps = %d, want 3", got)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	p := validProgram()
+	cases := map[int]string{
+		0: "0: gate1 h q0 @T0",
+		1: "1: split q0 @T0.right <- [0]",
+		2: "2: move q0 @s0 <- [1]",
+		4: "4: gate2 cx q0,q2 @T1 <- [3]",
+	}
+	for id, want := range cases {
+		if got := p.Ops[id].String(); got != want {
+			t.Errorf("op %d String = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := validProgram().String()
+	for _, want := range []string{"program t on L2", "T0: [0 1]", "gate2 cx"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("program string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpJunctionCross.String() != "junction" || OpIonSwap.String() != "ionswap" {
+		t.Error("op kind names")
+	}
+	if OpKind(99).String() != "op(99)" {
+		t.Error("out-of-range op kind")
+	}
+}

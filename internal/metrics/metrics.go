@@ -1,0 +1,147 @@
+// Package metrics provides the small formatting layer the experiment
+// harness uses to render paper-style series tables and CSV exports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one named data series over the shared x axis.
+type Series struct {
+	// Name labels the series (e.g. an application or "FM-GS").
+	Name string
+	// Values holds one value per x point; NaN renders as "-".
+	Values []float64
+	// Format is the fmt verb for values; "%.4g" when empty.
+	Format string
+}
+
+// value formats a single point.
+func (s Series) value(i int) string {
+	format := s.Format
+	if format == "" {
+		format = "%.4g"
+	}
+	if i >= len(s.Values) {
+		return "-"
+	}
+	v := s.Values[i]
+	if v != v { // NaN
+		return "-"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// Table renders series against an integer x axis as an aligned text table:
+//
+//	title
+//	x        name1    name2
+//	14       0.123    0.456
+func Table(title, xLabel string, xs []int, series []Series) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	widths := make([]int, len(series)+1)
+	widths[0] = len(xLabel)
+	for _, x := range xs {
+		if n := len(fmt.Sprint(x)); n > widths[0] {
+			widths[0] = n
+		}
+	}
+	cells := make([][]string, len(series))
+	for j, s := range series {
+		widths[j+1] = len(s.Name)
+		cells[j] = make([]string, len(xs))
+		for i := range xs {
+			cells[j][i] = s.value(i)
+			if n := len(cells[j][i]); n > widths[j+1] {
+				widths[j+1] = n
+			}
+		}
+	}
+	pad := func(s string, w int) string {
+		if len(s) >= w {
+			return s
+		}
+		return s + strings.Repeat(" ", w-len(s))
+	}
+	fmt.Fprintf(&b, "%s", pad(xLabel, widths[0]))
+	for j, s := range series {
+		fmt.Fprintf(&b, "  %s", pad(s.Name, widths[j+1]))
+	}
+	b.WriteByte('\n')
+	for i, x := range xs {
+		fmt.Fprintf(&b, "%s", pad(fmt.Sprint(x), widths[0]))
+		for j := range series {
+			fmt.Fprintf(&b, "  %s", pad(cells[j][i], widths[j+1]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV writes a header plus rows in RFC-4180-enough CSV (the values
+// the harness emits never need quoting, but commas and quotes are escaped
+// for safety).
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	writeRow := func(row []string) error {
+		for i, cell := range row {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, cell); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("metrics: row has %d cells, header has %d", len(row), len(header))
+		}
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ratio returns max/min over positive values of xs, or 0 when fewer than
+// one positive value exists. The paper quotes best/worst fidelity ratios
+// this way (e.g. "15x" for Supremacy trap sizing).
+func Ratio(xs []float64) float64 {
+	min, max := 0.0, 0.0
+	first := true
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		if first {
+			min, max = x, x
+			first = false
+			continue
+		}
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if first || min == 0 {
+		return 0
+	}
+	return max / min
+}

@@ -1,0 +1,125 @@
+// Package qasm implements the OpenQASM 2.0 interface of §VIII.A: a lexer,
+// a recursive-descent parser producing circuit IR, and a writer emitting
+// it back. The supported dialect is the subset the paper's benchmark
+// frontends (Qiskit, Cirq via qasm export, ScaffCC) produce: the standard
+// qelib1 single- and two-qubit gates plus the rzz, cp and ms extensions,
+// register declarations, whole-register broadcasts, measure and barrier.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // single-rune punctuation
+	tokArrow  // ->
+)
+
+// token is one lexeme with its source line for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer splits OpenQASM source into tokens, dropping // comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	switch {
+	case c == '"':
+		start := l.pos + 1
+		end := strings.IndexByte(l.src[start:], '"')
+		if end < 0 {
+			return token{}, fmt.Errorf("qasm: line %d: unterminated string", l.line)
+		}
+		l.pos = start + end + 1
+		return token{kind: tokString, text: l.src[start : start+end], line: l.line}, nil
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.pos += 2
+		return token{kind: tokArrow, text: "->", line: l.line}, nil
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case c >= '0' && c <= '9' || c == '.':
+		start := l.pos
+		seenExp := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' || ch == '.' {
+				l.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && !seenExp {
+				seenExp = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case strings.ContainsRune(";,()[]{}*/+-=<>", rune(c)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), line: l.line}, nil
+	}
+	return token{}, fmt.Errorf("qasm: line %d: unexpected character %q", l.line, c)
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Result is the outcome of simulating one program: the application-level
+// metrics (run time, reliability) and device-level metrics (heating,
+// operation counts) that the paper's evaluation reports.
+type Result struct {
+	// Name and DeviceName identify the run.
+	Name       string
+	DeviceName string
+
+	// TotalTime is the makespan in µs.
+	TotalTime float64
+	// ComputeTime and CommTime attribute the makespan to computation vs
+	// communication: an instant counts as compute when at least one gate
+	// or measurement is executing, as communication when only shuttling
+	// or reordering is in flight, and as idle otherwise (Figure 6b).
+	ComputeTime float64
+	CommTime    float64
+	IdleTime    float64
+	// BusyCompute and BusyComm sum raw op durations per category
+	// (they exceed the makespan when ops overlap).
+	BusyCompute float64
+	BusyComm    float64
+
+	// LogFidelity is the natural log of the application fidelity; it is
+	// exact even when Fidelity underflows to zero.
+	LogFidelity float64
+	// Fidelity is the product of all operation fidelities (§V.B).
+	Fidelity float64
+
+	// MSGates counts executed MS-class gate instances (program two-qubit
+	// gates plus the MS gates inside GS swaps).
+	MSGates int
+	// MeanMotionalError and MeanBackgroundError are the average per-MS-
+	// gate contributions of the two Eq. 1 error terms (Figure 6g).
+	MeanMotionalError   float64
+	MeanBackgroundError float64
+	// OneQGates and Measurements count executed 1Q ops and readouts.
+	OneQGates    int
+	Measurements int
+	// MeanOneQError is the average per-1Q-gate error.
+	MeanOneQError float64
+
+	// MaxMotionalEnergy is the largest chain energy observed on any trap
+	// at any time, in quanta (Figure 6f); MaxMotionalPerTrap breaks it
+	// out by trap.
+	MaxMotionalEnergy  float64
+	MaxMotionalPerTrap []float64
+
+	// Shuttling activity counters.
+	Splits, Merges, Moves, JunctionCrossings, IonSwaps int
+	// GSSwaps counts gate-based reorder operations.
+	GSSwaps int
+
+	// TotalWaitTime sums, over all ops, the time spent ready but queued
+	// for a busy resource (µs) — the congestion the compiler's
+	// prioritize-earlier-gates policy arbitrates. MaxWaitTime is the
+	// largest single-op wait.
+	TotalWaitTime float64
+	MaxWaitTime   float64
+}
+
+// TotalSeconds returns the makespan in seconds (the unit of the paper's
+// time plots).
+func (r *Result) TotalSeconds() float64 { return r.TotalTime * 1e-6 }
+
+// ComputeSeconds and CommSeconds return the attributed times in seconds.
+func (r *Result) ComputeSeconds() float64 { return r.ComputeTime * 1e-6 }
+
+// CommSeconds returns the communication-attributed time in seconds.
+func (r *Result) CommSeconds() float64 { return r.CommTime * 1e-6 }
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s on %s: time=%.4fs (compute %.4fs, comm %.4fs) fidelity=%.4g maxE=%.1f quanta",
+		r.Name, r.DeviceName, r.TotalSeconds(), r.ComputeSeconds(), r.CommSeconds(),
+		r.Fidelity, r.MaxMotionalEnergy)
+}
+
+// result assembles the Result after the event loop has drained.
+func (e *engine) result() *Result {
+	r := &Result{
+		Name:               e.prog.Name,
+		DeviceName:         e.prog.DeviceName,
+		LogFidelity:        e.logFidelity,
+		Fidelity:           math.Exp(e.logFidelity),
+		MSGates:            e.msGates,
+		OneQGates:          e.oneQGates,
+		Measurements:       e.measures,
+		MaxMotionalEnergy:  e.tracker.MaxEnergy(),
+		MaxMotionalPerTrap: e.tracker.MaxEnergyPerTrap(),
+		BusyCompute:        e.categoryBusy[isa.CatCompute],
+		BusyComm:           e.categoryBusy[isa.CatComm],
+	}
+	r.Splits, r.Merges, r.Moves, r.JunctionCrossings, r.IonSwaps = e.tracker.Counts()
+	r.GSSwaps = e.prog.CountKind(isa.OpSwapGS)
+	if e.msGates > 0 {
+		r.MeanMotionalError = e.sumMotional / float64(e.msGates)
+		r.MeanBackgroundError = e.sumBackground / float64(e.msGates)
+	}
+	if e.oneQGates > 0 {
+		r.MeanOneQError = e.sumOneQError / float64(e.oneQGates)
+	}
+	for i := range e.prog.Ops {
+		if e.endTime[i] > r.TotalTime {
+			r.TotalTime = e.endTime[i]
+		}
+		wait := e.startTime[i] - e.readyTime[i]
+		r.TotalWaitTime += wait
+		if wait > r.MaxWaitTime {
+			r.MaxWaitTime = wait
+		}
+	}
+	r.ComputeTime, r.CommTime, r.IdleTime = e.attributeTime(r.TotalTime)
+	return r
+}
+
+// attributeTime sweeps op intervals, attributing each instant to compute
+// when any compute op is live, else to communication when any comm op is
+// live, else to idle.
+func (e *engine) attributeTime(makespan float64) (compute, comm, idle float64) {
+	type boundary struct {
+		t       float64
+		compute bool
+		delta   int
+	}
+	var bs []boundary
+	for i := range e.prog.Ops {
+		if e.startTime[i] < 0 || e.endTime[i] <= e.startTime[i] {
+			continue
+		}
+		isCompute := e.prog.Ops[i].Kind.Category() == isa.CatCompute
+		bs = append(bs, boundary{e.startTime[i], isCompute, +1}, boundary{e.endTime[i], isCompute, -1})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].t < bs[j].t })
+	var activeCompute, activeComm int
+	prev := 0.0
+	for _, b := range bs {
+		if b.t > prev {
+			dt := b.t - prev
+			switch {
+			case activeCompute > 0:
+				compute += dt
+			case activeComm > 0:
+				comm += dt
+			default:
+				idle += dt
+			}
+			prev = b.t
+		}
+		if b.compute {
+			activeCompute += b.delta
+		} else {
+			activeComm += b.delta
+		}
+	}
+	if makespan > prev {
+		idle += makespan - prev
+	}
+	return compute, comm, idle
+}

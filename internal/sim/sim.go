@@ -1,0 +1,484 @@
+// Package sim executes compiled QCCD programs on a device model using the
+// performance, heating and fidelity models of §VII. It is a discrete-event
+// simulator: every op waits for its dependencies, then for its single
+// device resource (its trap, segment, or junction), runs for a duration
+// computed from the live machine state, and on completion updates chain
+// membership, chain order, motional energies and the running fidelity
+// product. Gates within one trap serialize on the trap resource while
+// independent shuttles proceed in parallel, matching the parallelism
+// constraints described in §V.B. Contended resources are granted to the
+// lowest op ID first — the compiler's issue order — which realizes the
+// paper's "prioritize earlier gates" congestion policy.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/heating"
+	"repro/internal/isa"
+	"repro/internal/models"
+)
+
+// Run simulates program p on device d under physical parameters params.
+func Run(p *isa.Program, d *device.Device, params models.Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if len(p.InitialLayout) != d.NumTraps() {
+		return nil, fmt.Errorf("sim: program laid out for %d traps, device %s has %d",
+			len(p.InitialLayout), d.Name, d.NumTraps())
+	}
+	e := newEngine(p, d, params)
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+// chain is the live state of one trap's ion chain.
+type chain struct {
+	qubits []int
+	energy float64 // motional energy in quanta
+}
+
+// nbar returns the motional mode occupancy used by the Eq. 1 fidelity
+// model: the chain's vibrational energy in quanta (§VII.C — "n̄ is the
+// motional mode of the chain (vibrational energy), in units of motional
+// quanta").
+func (c *chain) nbar() float64 { return c.energy }
+
+func (c *chain) indexOf(q int) int {
+	for i, x := range c.qubits {
+		if x == q {
+			return i
+		}
+	}
+	return -1
+}
+
+// engine holds all simulation state for one Run call.
+type engine struct {
+	prog   *isa.Program
+	dev    *device.Device
+	params models.Params
+
+	chains    []*chain
+	transitE  map[int]float64 // energy of ions in flight, by qubit
+	tracker   *heating.Tracker
+	resources []*resource // traps, then segments, then junctions
+
+	depsLeft []int
+	children [][]int
+
+	now       float64
+	events    eventHeap
+	done      int
+	startTime []float64
+	endTime   []float64
+	readyTime []float64 // when deps completed (resource-queue entry time)
+
+	logFidelity   float64
+	msGates       int
+	sumMotional   float64
+	sumBackground float64
+	oneQGates     int
+	sumOneQError  float64
+	measures      int
+	categoryBusy  [2]float64
+}
+
+func newEngine(p *isa.Program, d *device.Device, params models.Params) *engine {
+	e := &engine{
+		prog:      p,
+		dev:       d,
+		params:    params,
+		transitE:  make(map[int]float64),
+		tracker:   heating.NewTracker(d.NumTraps()),
+		depsLeft:  make([]int, len(p.Ops)),
+		children:  make([][]int, len(p.Ops)),
+		startTime: make([]float64, len(p.Ops)),
+		endTime:   make([]float64, len(p.Ops)),
+		readyTime: make([]float64, len(p.Ops)),
+	}
+	e.chains = make([]*chain, d.NumTraps())
+	for t := range e.chains {
+		e.chains[t] = &chain{qubits: append([]int(nil), p.InitialLayout[t]...)}
+	}
+	nRes := d.NumTraps() + len(d.Segments) + len(d.Junctions)
+	e.resources = make([]*resource, nRes)
+	for i := range e.resources {
+		e.resources[i] = &resource{}
+	}
+	for i, op := range p.Ops {
+		e.depsLeft[i] = len(op.Deps)
+		for _, dep := range op.Deps {
+			e.children[dep] = append(e.children[dep], i)
+		}
+		e.startTime[i] = -1
+		e.endTime[i] = -1
+	}
+	return e
+}
+
+// resourceIndex maps an op to its single required resource.
+func (e *engine) resourceIndex(op *isa.Op) int {
+	switch op.Kind {
+	case isa.OpMove:
+		return e.dev.NumTraps() + op.Segment
+	case isa.OpJunctionCross:
+		return e.dev.NumTraps() + len(e.dev.Segments) + op.Junction
+	default:
+		return op.Trap
+	}
+}
+
+// run drives the event loop to completion.
+func (e *engine) run() error {
+	for i := range e.prog.Ops {
+		if e.depsLeft[i] == 0 {
+			e.requestResource(i)
+		}
+	}
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.time
+		if err := e.complete(ev.op); err != nil {
+			return err
+		}
+	}
+	if e.done != len(e.prog.Ops) {
+		return fmt.Errorf("sim: deadlock after %d/%d ops at t=%.1fµs (first blocked op: %s)",
+			e.done, len(e.prog.Ops), e.now, e.firstBlocked())
+	}
+	return nil
+}
+
+func (e *engine) firstBlocked() string {
+	for i := range e.prog.Ops {
+		if e.endTime[i] < 0 {
+			return e.prog.Ops[i].String()
+		}
+	}
+	return "<none>"
+}
+
+// requestResource queues op i on its resource, starting it if free.
+func (e *engine) requestResource(i int) {
+	e.readyTime[i] = e.now
+	res := e.resources[e.resourceIndex(&e.prog.Ops[i])]
+	if res.busy {
+		res.push(i)
+		return
+	}
+	e.start(i)
+}
+
+// start computes the op duration from live state and schedules completion.
+func (e *engine) start(i int) {
+	op := &e.prog.Ops[i]
+	res := e.resources[e.resourceIndex(op)]
+	res.busy = true
+	res.holder = i
+	e.startTime[i] = e.now
+	dur := e.duration(op)
+	heap.Push(&e.events, event{time: e.now + dur, op: i})
+}
+
+// duration evaluates the §VII.A / Table I time models against live state.
+func (e *engine) duration(op *isa.Op) float64 {
+	p := e.params
+	switch op.Kind {
+	case isa.OpGate1:
+		return p.OneQubitTime
+	case isa.OpMeasure:
+		return p.MeasureTime
+	case isa.OpGate2:
+		c := e.chains[op.Trap]
+		d := e.gateDistance(c, op)
+		return p.TwoQubitTime(d, len(c.qubits))
+	case isa.OpSwapGS:
+		c := e.chains[op.Trap]
+		d := e.gateDistance(c, op)
+		return float64(p.SwapMSGates)*p.TwoQubitTime(d, len(c.qubits)) +
+			float64(p.SwapOneQGates)*p.OneQubitTime
+	case isa.OpIonSwap:
+		return p.IonSwapTime()
+	case isa.OpSplit:
+		return p.SplitTime
+	case isa.OpMerge:
+		return p.MergeTime
+	case isa.OpMove:
+		return p.MoveTime * float64(e.dev.Segments[op.Segment].Length)
+	case isa.OpJunctionCross:
+		return p.JunctionTime(e.dev.Junctions[op.Junction].Kind())
+	}
+	return p.OneQubitTime
+}
+
+// gateDistance returns the in-chain position separation of a 2-qubit op.
+func (e *engine) gateDistance(c *chain, op *isa.Op) int {
+	pa := c.indexOf(op.Qubits[0])
+	pb := c.indexOf(op.Qubits[1])
+	if pa < 0 || pb < 0 {
+		// Recorded as an invariant violation by the completion handler.
+		return 1
+	}
+	if pa > pb {
+		return pa - pb
+	}
+	return pb - pa
+}
+
+// complete applies the op's effects, frees its resource and wakes
+// dependents.
+func (e *engine) complete(i int) error {
+	op := &e.prog.Ops[i]
+	e.endTime[i] = e.now
+	if err := e.apply(op); err != nil {
+		return fmt.Errorf("sim: op %s at t=%.1fµs: %w", op, e.now, err)
+	}
+	e.done++
+	e.categoryBusy[op.Kind.Category()] += e.endTime[i] - e.startTime[i]
+
+	res := e.resources[e.resourceIndex(op)]
+	res.busy = false
+	res.holder = -1
+	if next, ok := res.pop(); ok {
+		e.start(next)
+	}
+	for _, child := range e.children[i] {
+		e.depsLeft[child]--
+		if e.depsLeft[child] == 0 {
+			e.requestResource(child)
+		}
+	}
+	return nil
+}
+
+// apply mutates machine state and fidelity accounting for a finished op.
+func (e *engine) apply(op *isa.Op) error {
+	p := e.params
+	switch op.Kind {
+	case isa.OpGate1:
+		c := e.chains[op.Trap]
+		if c.indexOf(op.Qubits[0]) < 0 {
+			return fmt.Errorf("qubit not in trap")
+		}
+		terms := p.OneQubitError(c.nbar())
+		e.oneQGates++
+		e.sumOneQError += terms.Error()
+		e.logFidelity += math.Log(terms.Fidelity())
+
+	case isa.OpMeasure:
+		c := e.chains[op.Trap]
+		if c.indexOf(op.Qubits[0]) < 0 {
+			return fmt.Errorf("qubit not in trap")
+		}
+		e.measures++
+		e.logFidelity += math.Log(p.MeasureFidelity)
+
+	case isa.OpGate2:
+		c := e.chains[op.Trap]
+		if c.indexOf(op.Qubits[0]) < 0 || c.indexOf(op.Qubits[1]) < 0 {
+			return fmt.Errorf("gate operands not co-located")
+		}
+		d := e.gateDistance(c, op)
+		tau := p.TwoQubitTime(d, len(c.qubits))
+		e.recordMS(p.TwoQubitError(tau, len(c.qubits), c.nbar()), 1)
+
+	case isa.OpSwapGS:
+		c := e.chains[op.Trap]
+		pa, pb := c.indexOf(op.Qubits[0]), c.indexOf(op.Qubits[1])
+		if pa < 0 || pb < 0 {
+			return fmt.Errorf("swap operands not co-located")
+		}
+		d := e.gateDistance(c, op)
+		tau := p.TwoQubitTime(d, len(c.qubits))
+		e.recordMS(p.TwoQubitError(tau, len(c.qubits), c.nbar()), p.SwapMSGates)
+		one := p.OneQubitError(c.nbar())
+		for k := 0; k < p.SwapOneQGates; k++ {
+			e.oneQGates++
+			e.sumOneQError += one.Error()
+			e.logFidelity += math.Log(one.Fidelity())
+		}
+		c.qubits[pa], c.qubits[pb] = c.qubits[pb], c.qubits[pa]
+
+	case isa.OpIonSwap:
+		c := e.chains[op.Trap]
+		pa, pb := c.indexOf(op.Qubits[0]), c.indexOf(op.Qubits[1])
+		if pa < 0 || pb < 0 {
+			return fmt.Errorf("ion-swap operands not co-located")
+		}
+		if pa-pb != 1 && pb-pa != 1 {
+			return fmt.Errorf("ion-swap operands not adjacent (%d,%d)", pa, pb)
+		}
+		c.energy = heating.IonSwapHop(c.energy, p.K1)
+		c.qubits[pa], c.qubits[pb] = c.qubits[pb], c.qubits[pa]
+		e.tracker.CountIonSwap()
+		e.tracker.Observe(op.Trap, c.energy)
+
+	case isa.OpSplit:
+		c := e.chains[op.Trap]
+		q := op.Qubits[0]
+		n := len(c.qubits)
+		if n == 0 {
+			return fmt.Errorf("split from empty trap")
+		}
+		atLeft := c.qubits[0] == q
+		atRight := c.qubits[n-1] == q
+		if op.End == device.Left && !atLeft || op.End == device.Right && !atRight {
+			return fmt.Errorf("split qubit q%d not at %s end of %v", q, op.End, c.qubits)
+		}
+		if n == 1 {
+			// Departing ion empties the trap; it carries the chain energy
+			// plus the split jolt.
+			e.transitE[q] = c.energy + p.K1
+			c.energy = 0
+			c.qubits = c.qubits[:0]
+		} else {
+			ionE, restE := heating.Split(c.energy, 1, n-1, p.K1)
+			e.transitE[q] = ionE
+			c.energy = restE
+			if op.End == device.Left {
+				c.qubits = append([]int(nil), c.qubits[1:]...)
+			} else {
+				c.qubits = c.qubits[:n-1]
+			}
+		}
+		e.tracker.CountSplit()
+		e.tracker.Observe(op.Trap, c.energy)
+
+	case isa.OpMove:
+		q := op.Qubits[0]
+		eIon, ok := e.transitE[q]
+		if !ok {
+			return fmt.Errorf("move of qubit q%d that is not in transit", q)
+		}
+		e.transitE[q] = heating.Move(eIon, e.dev.Segments[op.Segment].Length, p.K2)
+		e.tracker.CountMove()
+
+	case isa.OpJunctionCross:
+		q := op.Qubits[0]
+		eIon, ok := e.transitE[q]
+		if !ok {
+			return fmt.Errorf("junction crossing of qubit q%d not in transit", q)
+		}
+		e.transitE[q] = eIon + p.JunctionHeating
+		e.tracker.CountJunction()
+
+	case isa.OpMerge:
+		c := e.chains[op.Trap]
+		q := op.Qubits[0]
+		eIon, ok := e.transitE[q]
+		if !ok {
+			return fmt.Errorf("merge of qubit q%d that is not in transit", q)
+		}
+		if len(c.qubits) >= e.dev.Capacity {
+			return fmt.Errorf("merge overflows trap %d (cap %d)", op.Trap, e.dev.Capacity)
+		}
+		delete(e.transitE, q)
+		c.energy = heating.Merge(c.energy, eIon, p.K1)
+		if op.End == device.Left {
+			c.qubits = append([]int{q}, c.qubits...)
+		} else {
+			c.qubits = append(c.qubits, q)
+		}
+		e.tracker.CountMerge()
+		e.tracker.Observe(op.Trap, c.energy)
+
+	default:
+		return fmt.Errorf("unknown op kind %s", op.Kind)
+	}
+	return nil
+}
+
+// recordMS accounts count MS-gate executions with identical error terms.
+func (e *engine) recordMS(terms models.ErrorTerms, count int) {
+	for k := 0; k < count; k++ {
+		e.msGates++
+		e.sumMotional += terms.Motional
+		e.sumBackground += terms.Background
+		e.logFidelity += math.Log(terms.Fidelity())
+	}
+}
+
+// event is a scheduled op completion.
+type event struct {
+	time float64
+	op   int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].op < h[j].op
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// resource is one exclusively-held device resource with a priority wait
+// queue (lowest op ID first).
+type resource struct {
+	busy   bool
+	holder int
+	wait   []int // maintained as a min-heap over op ID
+}
+
+func (r *resource) push(i int) {
+	r.wait = append(r.wait, i)
+	for c := len(r.wait) - 1; c > 0; {
+		parent := (c - 1) / 2
+		if r.wait[parent] <= r.wait[c] {
+			break
+		}
+		r.wait[parent], r.wait[c] = r.wait[c], r.wait[parent]
+		c = parent
+	}
+}
+
+func (r *resource) pop() (int, bool) {
+	if len(r.wait) == 0 {
+		return 0, false
+	}
+	top := r.wait[0]
+	last := len(r.wait) - 1
+	r.wait[0] = r.wait[last]
+	r.wait = r.wait[:last]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < len(r.wait) && r.wait[l] < r.wait[small] {
+			small = l
+		}
+		if rr < len(r.wait) && r.wait[rr] < r.wait[small] {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		r.wait[i], r.wait[small] = r.wait[small], r.wait[i]
+		i = small
+	}
+	return top, true
+}
