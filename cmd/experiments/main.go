@@ -3,6 +3,12 @@
 // scaling study. With no selection flags it runs everything. With -csv
 // DIR it additionally writes the raw figure data as CSV files.
 //
+// Every figure runs on one shared toolflow with a content-addressed
+// outcome cache, so design points that recur across figures (Figure 8's
+// grid contains Figure 6 and the L6 half of Figure 7) are computed once.
+// Failed design points render as NaN in the affected series; they are
+// summarized on stderr and make the command exit nonzero.
+//
 // Usage:
 //
 //	experiments [-table1] [-table2] [-fig6] [-fig7] [-fig8] [-scaling] [-csv DIR]
@@ -22,6 +28,10 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
@@ -37,7 +47,7 @@ func main() {
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	all := !*table1 && !*table2 && !*fig6 && !*fig7 && !*fig8 && !*scaling
 	params := models.Default()
@@ -46,6 +56,7 @@ func main() {
 			log.Fatalf("csv dir: %v", err)
 		}
 	}
+	runner := experiments.NewCachedRunner(params, 0)
 
 	if all || *table1 {
 		fmt.Println(experiments.Table1(params))
@@ -57,27 +68,42 @@ func main() {
 		}
 		fmt.Println(t2)
 	}
+	failed := 0
 	if all || *fig6 {
-		run("fig6", *csvDir, func() (artifact, error) { return experiments.RunFig6(params) })
+		failed += run("fig6", *csvDir, func() (artifact, error) { return experiments.RunFig6With(runner) })
 	}
 	if all || *fig7 {
-		run("fig7", *csvDir, func() (artifact, error) { return experiments.RunFig7(params) })
+		failed += run("fig7", *csvDir, func() (artifact, error) { return experiments.RunFig7With(runner) })
 	}
 	if all || *fig8 {
-		run("fig8", *csvDir, func() (artifact, error) { return experiments.RunFig8(params) })
+		failed += run("fig8", *csvDir, func() (artifact, error) { return experiments.RunFig8With(runner) })
 	}
 	if all || *scaling {
-		run("scaling", *csvDir, func() (artifact, error) { return experiments.RunScaling(params) })
+		failed += run("scaling", *csvDir, func() (artifact, error) { return experiments.RunScaling(params) })
 	}
+	if st := runner.CacheStats(); st.Misses > 0 {
+		// Misses includes retries of failed points (errors are never
+		// stored), so it only equals the unique point count on clean runs.
+		fmt.Printf("[toolflow cache: %d design points computed, %d reused]\n",
+			st.Misses, st.Hits+st.Shared)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d design points failed\n", failed)
+		return 1
+	}
+	return 0
 }
 
 // artifact is the common shape of every generated study.
 type artifact interface {
 	Render() string
 	WriteCSV(io.Writer) error
+	Failures() []experiments.Outcome
 }
 
-func run(name, csvDir string, f func() (artifact, error)) {
+// run renders one study, writes its CSV, summarizes failed design points
+// on stderr, and returns the failure count.
+func run(name, csvDir string, f func() (artifact, error)) int {
 	start := time.Now()
 	a, err := f()
 	if err != nil {
@@ -85,8 +111,20 @@ func run(name, csvDir string, f func() (artifact, error)) {
 	}
 	fmt.Println(a.Render())
 	fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	fails := a.Failures()
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %d design points failed (rendered as NaN):\n", name, len(fails))
+		const show = 5
+		for i, o := range fails {
+			if i == show {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(fails)-show)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", o.Point, o.Err)
+		}
+	}
 	if csvDir == "" {
-		return
+		return len(fails)
 	}
 	path := filepath.Join(csvDir, name+".csv")
 	file, err := os.Create(path)
@@ -98,4 +136,5 @@ func run(name, csvDir string, f func() (artifact, error)) {
 		log.Fatalf("%s csv: %v", name, err)
 	}
 	fmt.Printf("[wrote %s]\n\n", path)
+	return len(fails)
 }

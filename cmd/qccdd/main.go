@@ -1,0 +1,101 @@
+// Command qccdd serves the QCCD design toolflow over HTTP/JSON: single
+// design-point runs, batch sweeps with streamed NDJSON outcomes, and
+// introspection of the built-in benchmarks, topologies and physical
+// parameters. All requests share one content-addressed outcome cache, so
+// repeated design points — within a sweep, across sweeps, or across
+// clients — are computed once.
+//
+// Usage:
+//
+//	qccdd [-addr :8080] [-cache 4096] [-workers N] [-max-points 10000] [-params FILE]
+//
+// Example session:
+//
+//	qccdd -addr :8080 &
+//	curl -s localhost:8080/v1/apps
+//	curl -s -X POST localhost:8080/v1/run \
+//	  -d '{"point":{"app":"QFT","topology":"L6","capacity":22,"gate":"FM","reorder":"GS"}}'
+//	curl -sN -X POST localhost:8080/v1/sweep \
+//	  -d '{"points":[{"app":"BV","topology":"L6","capacity":14},
+//	                 {"app":"BV","topology":"L6","capacity":18}]}'
+//
+// The daemon drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qccdd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", 4096, "outcome cache entries (negative: unbounded)")
+		workers   = flag.Int("workers", 0, "max per-request sweep workers (0: GOMAXPROCS)")
+		maxPoints = flag.Int("max-points", 10000, "max design points per sweep request")
+		paramsIn  = flag.String("params", "", "JSON file overriding the physical model parameters")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	params := models.Default()
+	if *paramsIn != "" {
+		data, err := os.ReadFile(*paramsIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if params, err = models.LoadJSON(data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv, err := service.New(service.Config{
+		Params:         params,
+		CacheEntries:   *cacheSize,
+		MaxWorkers:     *workers,
+		MaxSweepPoints: *maxPoints,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (params %s)", *addr, params)
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	st := srv.CacheStats()
+	log.Printf("served %d unique design points, %d cache reuses", st.Misses, st.Hits+st.Shared)
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/apps"
+	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/compiler"
 	"repro/internal/device"
@@ -51,18 +52,57 @@ type Outcome struct {
 	Err    error
 }
 
-// Toolflow executes design points with cached circuits. It is safe for
-// concurrent use after construction.
+// Toolflow executes design points with cached circuits and, optionally, a
+// content-addressed outcome cache. It is safe for concurrent use after
+// construction.
 type Toolflow struct {
-	base     models.Params
+	base models.Params
+	// baseHash content-addresses the physical parameters once (with Gate
+	// normalized away, since each point's gate overrides it) so per-point
+	// cache keys only hash the point itself.
+	baseHash string
+	outcomes *cache.Cache[Outcome]
 	mu       sync.Mutex
 	circuits map[string]*circuit.Circuit
 }
 
 // New returns a toolflow whose physical parameters default to base (the
-// per-point gate implementation overrides base.Gate).
+// per-point gate implementation overrides base.Gate). Every design point
+// is computed from scratch; use NewCached or NewWithCache to reuse
+// outcomes across sweeps.
 func New(base models.Params) *Toolflow {
 	return &Toolflow{base: base, circuits: make(map[string]*circuit.Circuit)}
+}
+
+// NewCached returns a toolflow backed by a fresh outcome cache holding at
+// most entries results (entries <= 0 means unbounded).
+func NewCached(base models.Params, entries int) *Toolflow {
+	return NewWithCache(base, cache.New[Outcome](entries))
+}
+
+// NewWithCache returns a toolflow backed by c, which may be shared with
+// other toolflows (the cache key covers both point and parameters, so
+// toolflows under different calibrations cannot cross-talk).
+func NewWithCache(base models.Params, c *cache.Cache[Outcome]) *Toolflow {
+	tf := New(base)
+	tf.outcomes = c
+	tf.baseHash = paramsHash(base)
+	return tf
+}
+
+// Params returns the toolflow's base physical parameters.
+func (tf *Toolflow) Params() models.Params { return tf.base }
+
+// Cache returns the outcome cache, or nil for an uncached toolflow.
+func (tf *Toolflow) Cache() *cache.Cache[Outcome] { return tf.outcomes }
+
+// CacheStats snapshots the outcome cache counters; the zero Stats for an
+// uncached toolflow.
+func (tf *Toolflow) CacheStats() cache.Stats {
+	if tf.outcomes == nil {
+		return cache.Stats{}
+	}
+	return tf.outcomes.Stats()
 }
 
 // circuitFor builds or fetches the cached circuit for an app name.
@@ -81,7 +121,33 @@ func (tf *Toolflow) circuitFor(app string) (*circuit.Circuit, error) {
 }
 
 // Run executes a single design point: build device, compile, simulate.
+// With an outcome cache attached, a previously computed point is returned
+// without recomputation and identical in-flight points are computed once.
 func (tf *Toolflow) Run(pt Point) Outcome {
+	o, _ := tf.Do(pt)
+	return o
+}
+
+// Do is Run plus a report of whether the outcome was served from the
+// cache (or an in-flight duplicate) instead of computed by this call.
+func (tf *Toolflow) Do(pt Point) (Outcome, bool) {
+	if tf.outcomes == nil {
+		return tf.compute(pt), false
+	}
+	o, err, hit := tf.outcomes.Do(cacheKey(pt, tf.baseHash), func() (Outcome, error) {
+		o := tf.compute(pt)
+		// A failed outcome is returned to every waiter but never stored,
+		// so transient failures do not poison the cache.
+		return o, o.Err
+	})
+	if err != nil {
+		return Outcome{Point: pt, Err: err}, hit
+	}
+	return o, hit
+}
+
+// compute executes the point uncached: build device, compile, simulate.
+func (tf *Toolflow) compute(pt Point) Outcome {
 	c, err := tf.circuitFor(pt.App)
 	if err != nil {
 		return Outcome{Point: pt, Err: err}

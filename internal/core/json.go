@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// pointJSON is the wire shape of a design point: enums travel as their
+// paper names so requests are hand-writable.
+type pointJSON struct {
+	App      string `json:"app"`
+	Topology string `json:"topology"`
+	Capacity int    `json:"capacity"`
+	Gate     string `json:"gate,omitempty"`
+	Reorder  string `json:"reorder,omitempty"`
+}
+
+// MarshalJSON encodes the point with gate and reorder as paper names.
+func (p Point) MarshalJSON() ([]byte, error) {
+	return json.Marshal(pointJSON{
+		App:      p.App,
+		Topology: p.Topology,
+		Capacity: p.Capacity,
+		Gate:     p.Gate.String(),
+		Reorder:  p.Reorder.String(),
+	})
+}
+
+// UnmarshalJSON decodes a point, rejecting unknown fields so a typo'd
+// key fails loudly instead of silently running a default. Omitted gate
+// and reorder fields default to the paper's FM / GS microarchitecture.
+func (p *Point) UnmarshalJSON(data []byte) error {
+	var raw pointJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return fmt.Errorf("core: point: %w", err)
+	}
+	gate := models.FM
+	if raw.Gate != "" {
+		var err error
+		if gate, err = models.ParseGateImpl(raw.Gate); err != nil {
+			return err
+		}
+	}
+	reorder := models.GS
+	if raw.Reorder != "" {
+		var err error
+		if reorder, err = models.ParseReorderMethod(raw.Reorder); err != nil {
+			return err
+		}
+	}
+	*p = Point{App: raw.App, Topology: raw.Topology, Capacity: raw.Capacity, Gate: gate, Reorder: reorder}
+	return nil
+}
+
+// Validate rejects points that are structurally unable to run, before any
+// compile or simulation work is spent on them.
+func (p Point) Validate() error {
+	if p.App == "" {
+		return errors.New("core: point: missing app")
+	}
+	if p.Topology == "" {
+		return errors.New("core: point: missing topology")
+	}
+	if p.Capacity < 1 {
+		return fmt.Errorf("core: point: capacity must be >= 1, got %d", p.Capacity)
+	}
+	return nil
+}
+
+// outcomeJSON is the wire shape of an outcome: a failed point carries its
+// error string, a successful one the full simulation result.
+type outcomeJSON struct {
+	Point  Point       `json:"point"`
+	Result *sim.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// MarshalJSON encodes the outcome with the error flattened to a string.
+func (o Outcome) MarshalJSON() ([]byte, error) {
+	j := outcomeJSON{Point: o.Point, Result: o.Result}
+	if o.Err != nil {
+		j.Error = o.Err.Error()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes an outcome written by MarshalJSON. The error, if
+// any, is reconstructed as an opaque error value.
+func (o *Outcome) UnmarshalJSON(data []byte) error {
+	var raw outcomeJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("core: outcome: %w", err)
+	}
+	*o = Outcome{Point: raw.Point, Result: raw.Result}
+	if raw.Error != "" {
+		o.Err = errors.New(raw.Error)
+	}
+	return nil
+}
+
+// AppendCanonical writes the point's identity into c in a fixed order.
+func (p Point) AppendCanonical(c *models.Canon) {
+	c.Str("point", "v1")
+	c.Str("app", p.App)
+	c.Str("topology", p.Topology)
+	c.Int("capacity", p.Capacity)
+	c.Str("gate", p.Gate.String())
+	c.Str("reorder", p.Reorder.String())
+}
+
+// Hash returns a hex SHA-256 content hash of the point.
+func (p Point) Hash() string {
+	var c models.Canon
+	p.AppendCanonical(&c)
+	return c.Sum()
+}
+
+// CacheKey derives the content address of one toolflow evaluation: the
+// joint hash of the design point and the physical parameters, so outcomes
+// computed under different calibrations can share one cache without
+// cross-talk. This is exactly the key Toolflow.Do stores outcomes under,
+// so CacheKey works with Toolflow.Cache().Get for lookups and pre-seeding.
+func CacheKey(pt Point, params models.Params) string {
+	return cacheKey(pt, paramsHash(params))
+}
+
+// paramsHash hashes the calibration with Gate normalized away: every
+// design point carries its own gate implementation, which the toolflow
+// applies over params.Gate, so calibrations differing only in Gate must
+// share cache entries.
+func paramsHash(params models.Params) string {
+	params.Gate = 0
+	return params.Hash()
+}
+
+// cacheKey combines a point with a precomputed calibration hash.
+func cacheKey(pt Point, paramsHash string) string {
+	var c models.Canon
+	pt.AppendCanonical(&c)
+	c.Str("params_hash", paramsHash)
+	return c.Sum()
+}

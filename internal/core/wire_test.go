@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestPointJSONRoundTrip(t *testing.T) {
+	in := Point{App: "QFT", Topology: "G2x3", Capacity: 18, Gate: models.PM, Reorder: models.IS}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"app":"QFT"`, `"gate":"PM"`, `"reorder":"IS"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("json %s missing %s", data, want)
+		}
+	}
+	var out Point
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestPointJSONDefaultsAndErrors(t *testing.T) {
+	var p Point
+	if err := json.Unmarshal([]byte(`{"app":"BV","topology":"L6","capacity":20}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Gate != models.FM || p.Reorder != models.GS {
+		t.Errorf("defaults = %s-%s, want FM-GS", p.Gate, p.Reorder)
+	}
+	if err := json.Unmarshal([]byte(`{"app":"BV","topology":"L6","capacity":20,"gate":"ZZ"}`), &p); err == nil {
+		t.Error("bad gate should fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`{"app":"BV","topology":"L6","capacity":20,"reorder":"XX"}`), &p); err == nil {
+		t.Error("bad reorder should fail to decode")
+	}
+}
+
+func TestPointValidate(t *testing.T) {
+	good := Point{App: "BV", Topology: "L6", Capacity: 20}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []Point{
+		{Topology: "L6", Capacity: 20},
+		{App: "BV", Capacity: 20},
+		{App: "BV", Topology: "L6", Capacity: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v should fail validation", bad)
+		}
+	}
+}
+
+func TestOutcomeJSONRoundTrip(t *testing.T) {
+	pt := Point{App: "BV", Topology: "L6", Capacity: 20, Gate: models.FM, Reorder: models.GS}
+	o := New(models.Default()).Run(pt)
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Outcome
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Point != pt || back.Err != nil {
+		t.Errorf("round trip point = %+v err = %v", back.Point, back.Err)
+	}
+	if back.Result == nil || back.Result.Fidelity != o.Result.Fidelity {
+		t.Error("result did not survive the round trip")
+	}
+
+	failed := Outcome{Point: pt, Err: errors.New("boom")}
+	data, err = json.Marshal(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"error":"boom"`) {
+		t.Errorf("failed outcome json = %s", data)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Err == nil || back.Err.Error() != "boom" {
+		t.Errorf("error round trip = %v", back.Err)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := models.Default()
+	pt := Point{App: "QFT", Topology: "L6", Capacity: 22, Gate: models.FM, Reorder: models.GS}
+	key := CacheKey(pt, base)
+	if key != CacheKey(pt, base) {
+		t.Error("equal inputs must produce equal keys")
+	}
+	variants := []Point{
+		{App: "BV", Topology: "L6", Capacity: 22, Gate: models.FM, Reorder: models.GS},
+		{App: "QFT", Topology: "G2x3", Capacity: 22, Gate: models.FM, Reorder: models.GS},
+		{App: "QFT", Topology: "L6", Capacity: 26, Gate: models.FM, Reorder: models.GS},
+		{App: "QFT", Topology: "L6", Capacity: 22, Gate: models.AM2, Reorder: models.GS},
+		{App: "QFT", Topology: "L6", Capacity: 22, Gate: models.FM, Reorder: models.IS},
+	}
+	for _, v := range variants {
+		if CacheKey(v, base) == key {
+			t.Errorf("point %s should key differently from %s", v, pt)
+		}
+	}
+	hot := base
+	hot.K1 *= 2
+	if CacheKey(pt, hot) == key {
+		t.Error("parameter change should change the key")
+	}
+	// The per-point gate always overrides params.Gate, so calibrations
+	// differing only in Gate must share keys.
+	gateOnly := base
+	gateOnly.Gate = models.AM1
+	if CacheKey(pt, gateOnly) != key {
+		t.Error("params.Gate must be normalized out of the key")
+	}
+}
+
+// TestCacheKeyMatchesStoredEntries checks the exported CacheKey is the
+// exact key Toolflow.Do stores outcomes under, so external callers can
+// look up or pre-seed the cache.
+func TestCacheKeyMatchesStoredEntries(t *testing.T) {
+	base := models.Default()
+	tf := NewCached(base, 16)
+	pt := Point{App: "BV", Topology: "L6", Capacity: 20, Gate: models.FM, Reorder: models.GS}
+	o, _ := tf.Do(pt)
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	got, ok := tf.Cache().Get(CacheKey(pt, base))
+	if !ok {
+		t.Fatal("CacheKey must address the entry Do stored")
+	}
+	if got.Result != o.Result {
+		t.Error("lookup returned a different outcome")
+	}
+	// Two toolflows sharing a cache, differing only in base.Gate, share
+	// outcomes: each point pins its own gate.
+	other := base
+	other.Gate = models.PM
+	tf2 := NewWithCache(other, tf.Cache())
+	if _, hit := tf2.Do(pt); !hit {
+		t.Error("calibrations differing only in Gate must share cache entries")
+	}
+}
+
+func TestToolflowCacheReusesOutcomes(t *testing.T) {
+	tf := NewCached(models.Default(), 128)
+	pt := Point{App: "BV", Topology: "L6", Capacity: 20, Gate: models.FM, Reorder: models.GS}
+	first, hit := tf.Do(pt)
+	if first.Err != nil || hit {
+		t.Fatalf("first run err=%v hit=%v", first.Err, hit)
+	}
+	second, hit := tf.Do(pt)
+	if second.Err != nil || !hit {
+		t.Fatalf("second run err=%v hit=%v", second.Err, hit)
+	}
+	if first.Result != second.Result {
+		t.Error("cached run should return the stored result")
+	}
+	if st := tf.CacheStats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Failed outcomes are not stored: the same bad point recomputes.
+	bad := Point{App: "nope", Topology: "L6", Capacity: 20}
+	if o, _ := tf.Do(bad); o.Err == nil {
+		t.Fatal("unknown app should fail")
+	}
+	if _, hit := tf.Do(bad); hit {
+		t.Error("failed outcome must not be served from the cache")
+	}
+}
+
+func TestSweepWithSharedCacheComputesUniquePointsOnce(t *testing.T) {
+	tf := NewCached(models.Default(), 0)
+	pts := CapacitySweep("BV", "L6", models.FM, models.GS, []int{14, 18, 22})
+	// Duplicate the whole grid: 6 submissions, 3 unique points.
+	outs := tf.Sweep(append(append([]Point{}, pts...), pts...))
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("outcome %d: %v", i, o.Err)
+		}
+	}
+	tf.Sweep(pts) // rerun: all hits
+	st := tf.CacheStats()
+	if st.Misses != 3 {
+		t.Errorf("unique computes = %d, want 3 (stats %+v)", st.Misses, st)
+	}
+	if st.Hits+st.Shared != 6 {
+		t.Errorf("hits+shared = %d, want 6 (stats %+v)", st.Hits+st.Shared, st)
+	}
+}

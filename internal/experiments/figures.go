@@ -27,14 +27,18 @@ func seriesOf(outs []Outcome, f func(*Outcome) float64) []float64 {
 	return vals
 }
 
-// firstError returns the first error among outcomes, if any.
-func firstError(outs []Outcome) error {
+// appendFailures collects the failed outcomes among outs. The RunFigXWith
+// entry points do not abort on a failed design point: failed points render
+// as NaN in every series and are reported through each figure's Failures
+// method so callers can summarize them and exit nonzero. The plain RunFigX
+// wrappers keep the old contract and surface failures as an error.
+func appendFailures(dst []Outcome, outs []Outcome) []Outcome {
 	for i := range outs {
 		if outs[i].Err != nil {
-			return outs[i].Err
+			dst = append(dst, outs[i])
 		}
 	}
-	return nil
+	return dst
 }
 
 // Fig6 holds the trap-sizing study of §IX.A: all apps on the linear L6
@@ -58,9 +62,31 @@ type Fig6 struct {
 	Outcomes map[string][]Outcome
 }
 
-// RunFig6 executes the Figure 6 sweep.
+// failuresError flattens failed design points into one error, so the
+// plain RunFigX wrappers keep their pre-cache contract of reporting
+// failures through the error return (alongside the NaN-marked figure).
+func failuresError(name string, fails []Outcome) error {
+	if len(fails) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s: %d design points failed; first %s: %w",
+		name, len(fails), fails[0].Point, fails[0].Err)
+}
+
+// RunFig6 executes the Figure 6 sweep on a fresh runner. Failed design
+// points are reported as a summarizing error; the returned figure is
+// still populated, with NaN at the failed points.
 func RunFig6(base models.Params) (*Fig6, error) {
-	r := NewRunner(base)
+	f, err := RunFig6With(NewRunner(base))
+	if err != nil {
+		return nil, err
+	}
+	return f, failuresError("fig6", f.Failures())
+}
+
+// RunFig6With executes the Figure 6 sweep on r, reusing any outcomes its
+// cache already holds.
+func RunFig6With(r *Runner) (*Fig6, error) {
 	f := &Fig6{
 		Capacities:  PaperCapacities,
 		Time:        map[string][]float64{},
@@ -70,9 +96,6 @@ func RunFig6(base models.Params) (*Fig6, error) {
 	}
 	for _, app := range PaperApps {
 		outs := r.Sweep(CapacitySweep(app, "L6", models.FM, models.GS, f.Capacities))
-		if err := firstError(outs); err != nil {
-			return nil, err
-		}
 		f.Outcomes[app] = outs
 		f.Time[app] = seriesOf(outs, func(o *Outcome) float64 { return o.Result.TotalSeconds() })
 		f.Fidelity[app] = seriesOf(outs, func(o *Outcome) float64 { return o.Result.Fidelity })
@@ -83,6 +106,15 @@ func RunFig6(base models.Params) (*Fig6, error) {
 	f.SupremacyMotional = seriesOf(f.Outcomes["Supremacy"], func(o *Outcome) float64 { return o.Result.MeanMotionalError })
 	f.SupremacyBackground = seriesOf(f.Outcomes["Supremacy"], func(o *Outcome) float64 { return o.Result.MeanBackgroundError })
 	return f, nil
+}
+
+// Failures returns the failed design points, in app-major sweep order.
+func (f *Fig6) Failures() []Outcome {
+	var fails []Outcome
+	for _, app := range PaperApps {
+		fails = appendFailures(fails, f.Outcomes[app])
+	}
+	return fails
 }
 
 // Render prints all Figure 6 panels as text tables.
@@ -130,9 +162,20 @@ type Fig7 struct {
 	Outcomes     map[string]map[string][]Outcome
 }
 
-// RunFig7 executes the Figure 7 sweep.
+// RunFig7 executes the Figure 7 sweep on a fresh runner. Failed design
+// points are reported as a summarizing error; the returned figure is
+// still populated, with NaN at the failed points.
 func RunFig7(base models.Params) (*Fig7, error) {
-	r := NewRunner(base)
+	f, err := RunFig7With(NewRunner(base))
+	if err != nil {
+		return nil, err
+	}
+	return f, failuresError("fig7", f.Failures())
+}
+
+// RunFig7With executes the Figure 7 sweep on r, reusing any outcomes its
+// cache already holds.
+func RunFig7With(r *Runner) (*Fig7, error) {
 	f := &Fig7{
 		Capacities:   PaperCapacities,
 		Topologies:   []string{"L6", "G2x3"},
@@ -147,9 +190,6 @@ func RunFig7(base models.Params) (*Fig7, error) {
 		f.Outcomes[topo] = map[string][]Outcome{}
 		for _, app := range PaperApps {
 			outs := r.Sweep(CapacitySweep(app, topo, models.FM, models.GS, f.Capacities))
-			if err := firstError(outs); err != nil {
-				return nil, err
-			}
 			f.Outcomes[topo][app] = outs
 			f.Time[topo][app] = seriesOf(outs, func(o *Outcome) float64 { return o.Result.TotalSeconds() })
 			f.Fidelity[topo][app] = seriesOf(outs, func(o *Outcome) float64 { return o.Result.Fidelity })
@@ -158,6 +198,17 @@ func RunFig7(base models.Params) (*Fig7, error) {
 			func(o *Outcome) float64 { return o.Result.MaxMotionalEnergy })
 	}
 	return f, nil
+}
+
+// Failures returns the failed design points, topology-major.
+func (f *Fig7) Failures() []Outcome {
+	var fails []Outcome
+	for _, topo := range f.Topologies {
+		for _, app := range PaperApps {
+			fails = appendFailures(fails, f.Outcomes[topo][app])
+		}
+	}
+	return fails
 }
 
 // Render prints all Figure 7 panels as text tables.
@@ -229,9 +280,20 @@ type Fig8 struct {
 	Outcomes map[string]map[string][]Outcome
 }
 
-// RunFig8 executes the Figure 8 sweep (48 series: 6 apps x 8 combos).
+// RunFig8 executes the Figure 8 sweep (48 series: 6 apps x 8 combos) on a
+// fresh runner. Failed design points are reported as a summarizing error;
+// the returned figure is still populated, with NaN at the failed points.
 func RunFig8(base models.Params) (*Fig8, error) {
-	r := NewRunner(base)
+	f, err := RunFig8With(NewRunner(base))
+	if err != nil {
+		return nil, err
+	}
+	return f, failuresError("fig8", f.Failures())
+}
+
+// RunFig8With executes the Figure 8 sweep on r, reusing any outcomes its
+// cache already holds.
+func RunFig8With(r *Runner) (*Fig8, error) {
 	f := &Fig8{
 		Capacities: PaperCapacities,
 		Combos:     PaperCombos(),
@@ -247,9 +309,6 @@ func RunFig8(base models.Params) (*Fig8, error) {
 		}
 	}
 	outs := r.Sweep(points)
-	if err := firstError(outs); err != nil {
-		return nil, err
-	}
 	i := 0
 	for _, app := range PaperApps {
 		f.Fidelity[app] = map[string][]float64{}
@@ -264,6 +323,17 @@ func RunFig8(base models.Params) (*Fig8, error) {
 		}
 	}
 	return f, nil
+}
+
+// Failures returns the failed design points, app-major then combo order.
+func (f *Fig8) Failures() []Outcome {
+	var fails []Outcome
+	for _, app := range PaperApps {
+		for _, combo := range f.Combos {
+			fails = appendFailures(fails, f.Outcomes[app][combo.Label()])
+		}
+	}
+	return fails
 }
 
 // Render prints all Figure 8 panels as text tables.

@@ -86,6 +86,11 @@ func RunScaling(base models.Params) (*Scaling, error) {
 	return s, nil
 }
 
+// Failures returns nil: the scaling study aborts on its first error
+// instead of recording failed points (it builds bespoke devices rather
+// than sweeping toolflow design points).
+func (s *Scaling) Failures() []Outcome { return nil }
+
 // Render prints the scaling study as a table.
 func (s *Scaling) Render() string {
 	var b strings.Builder

@@ -27,6 +27,15 @@ type (
 // (the per-point gate implementation overrides base.Gate).
 func NewRunner(base models.Params) *Runner { return core.New(base) }
 
+// NewCachedRunner returns a toolflow backed by a content-addressed outcome
+// cache of at most entries results (entries <= 0 means unbounded). The
+// figure sweeps overlap heavily — Figure 8's microarchitecture grid
+// contains both Figure 6 and the L6 half of Figure 7 — so running the full
+// evaluation on one cached runner computes each unique design point once.
+func NewCachedRunner(base models.Params, entries int) *Runner {
+	return core.NewCached(base, entries)
+}
+
 // CapacitySweep builds points for one app/topology/microarch across the
 // paper's capacity grid.
 func CapacitySweep(app, topology string, gate models.GateImpl, reorder models.ReorderMethod, capacities []int) []Point {

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 )
@@ -55,10 +56,14 @@ func (p Params) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// UnmarshalJSON decodes parameters written by MarshalJSON.
+// UnmarshalJSON decodes parameters written by MarshalJSON. Unknown
+// fields are rejected, so a typo'd key in a calibration file or request
+// fails loudly instead of silently leaving the field at zero.
 func (p *Params) UnmarshalJSON(data []byte) error {
 	var raw paramsJSON
-	if err := json.Unmarshal(data, &raw); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
 		return fmt.Errorf("models: %w", err)
 	}
 	gate, err := ParseGateImpl(raw.Gate)

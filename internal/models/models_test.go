@@ -270,6 +270,10 @@ func TestLoadJSONRejectsBadInput(t *testing.T) {
 	if _, err := LoadJSON([]byte(`{"gate":"FM"}`)); err == nil {
 		t.Error("zero times should fail validation")
 	}
+	// A typo'd key must fail loudly, not leave the real field at zero.
+	if _, err := LoadJSON([]byte(`{"gate":"FM","split_time_uss":80}`)); err == nil {
+		t.Error("unknown key should fail")
+	}
 }
 
 func TestLoadJSONKeyNames(t *testing.T) {

@@ -1,0 +1,440 @@
+// Package service exposes the design toolflow of Figure 3 as a long-lived
+// HTTP/JSON daemon, so large architectural sweeps (TITAN-scale design
+// spaces, far beyond the paper's Figures 6-8) can be driven remotely and
+// share one content-addressed outcome cache across requests.
+//
+// Endpoints:
+//
+//	POST /v1/run        evaluate a single design point
+//	POST /v1/sweep      evaluate a batch, streaming outcomes as NDJSON
+//	GET  /v1/apps       list the built-in Table II benchmarks
+//	GET  /v1/topologies describe the device spec grammar with examples
+//	GET  /v1/params     return the server's base physical parameters
+//	GET  /healthz       liveness plus cache statistics
+//
+// Requests may carry a complete "params" object (the format of GET
+// /v1/params) to evaluate under a different calibration; the outcome
+// cache keys on (point, params), so calibrations never cross-talk.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// Config bounds the server's resources. Zero fields take defaults.
+type Config struct {
+	// Params is the base physical model; the zero Params means
+	// models.Default(). Any other invalid Params is rejected by New.
+	Params models.Params
+	// CacheEntries bounds the shared outcome cache (default 4096;
+	// negative means unbounded).
+	CacheEntries int
+	// MaxWorkers caps the per-request sweep concurrency (default
+	// GOMAXPROCS).
+	MaxWorkers int
+	// MaxSweepPoints caps the batch size of one sweep request (default
+	// 10000).
+	MaxSweepPoints int
+	// MaxBodyBytes caps request body size (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Params == (models.Params{}) {
+		c.Params = models.Default()
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	} else if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // unbounded
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 10000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// maxToolflows bounds the per-calibration toolflow table; evicted
+// toolflows only lose their circuit memos, never cached outcomes.
+const maxToolflows = 64
+
+// Server is the sweep service. Construct with New; safe for concurrent
+// use.
+type Server struct {
+	cfg      Config
+	outcomes *cache.Cache[core.Outcome]
+	start    time.Time
+
+	mu    sync.Mutex
+	flows map[string]*core.Toolflow // keyed by params hash
+}
+
+// New returns a server with one shared outcome cache. A non-zero but
+// invalid base calibration is an error, never silently replaced.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return &Server{
+		cfg:      cfg,
+		outcomes: cache.New[core.Outcome](cfg.CacheEntries),
+		start:    time.Now(),
+		flows:    make(map[string]*core.Toolflow),
+	}, nil
+}
+
+// toolflowFor returns the toolflow for one calibration, creating it on
+// first use. All toolflows share the server's outcome cache.
+func (s *Server) toolflowFor(p models.Params) *core.Toolflow {
+	key := p.Hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tf, ok := s.flows[key]; ok {
+		return tf
+	}
+	if len(s.flows) >= maxToolflows {
+		for k := range s.flows {
+			delete(s.flows, k)
+			break
+		}
+	}
+	tf := core.NewWithCache(p, s.outcomes)
+	s.flows[key] = tf
+	return tf
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/apps", s.handleApps)
+	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
+	mux.HandleFunc("GET /v1/params", s.handleParams)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads a bounded JSON body into v, rejecting unknown fields so
+// typos fail loudly instead of silently running defaults.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// params resolves a request's optional calibration override.
+func (s *Server) params(override *models.Params) (models.Params, error) {
+	if override == nil {
+		return s.cfg.Params, nil
+	}
+	if err := override.Validate(); err != nil {
+		return models.Params{}, err
+	}
+	return *override, nil
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	Point core.Point `json:"point"`
+	// Params optionally overrides the server calibration; it must be a
+	// complete document (start from GET /v1/params).
+	Params *models.Params `json:"params,omitempty"`
+}
+
+// RunResponse is the body of POST /v1/run.
+type RunResponse struct {
+	Point     core.Point  `json:"point"`
+	Result    *sim.Result `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	Cached    bool        `json:"cached"`
+	ElapsedUS int64       `json:"elapsed_us"`
+}
+
+// SweepLine is one NDJSON outcome line of POST /v1/sweep. Seq is the
+// zero-based index of the point in the request: lines stream in
+// completion order, so clients use it to map outcomes back.
+type SweepLine struct {
+	Seq int `json:"seq"`
+	RunResponse
+}
+
+func runResponse(o core.Outcome, cached bool, elapsed time.Duration) RunResponse {
+	resp := RunResponse{
+		Point:     o.Point,
+		Result:    o.Result,
+		Cached:    cached,
+		ElapsedUS: elapsed.Microseconds(),
+	}
+	if o.Err != nil {
+		resp.Error = o.Err.Error()
+	}
+	return resp
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if err := req.Point.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params, err := s.params(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "params: %v", err)
+		return
+	}
+	start := time.Now()
+	o, cached := s.toolflowFor(params).Do(req.Point)
+	writeJSON(w, http.StatusOK, runResponse(o, cached, time.Since(start)))
+}
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	Points []core.Point `json:"points"`
+	// Params optionally overrides the server calibration for every point.
+	Params *models.Params `json:"params,omitempty"`
+	// Workers caps this request's concurrency; clamped to the server
+	// limit. Zero means the server limit.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SweepSummary is the final NDJSON line of a sweep response.
+type SweepSummary struct {
+	Done      bool  `json:"done"`
+	Total     int   `json:"total"`
+	Failed    int   `json:"failed"`
+	CacheHits int   `json:"cache_hits"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep: no points")
+		return
+	}
+	if len(req.Points) > s.cfg.MaxSweepPoints {
+		writeError(w, http.StatusBadRequest, "sweep: %d points exceeds the limit of %d",
+			len(req.Points), s.cfg.MaxSweepPoints)
+		return
+	}
+	for i, pt := range req.Points {
+		if err := pt.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
+			return
+		}
+	}
+	params, err := s.params(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "params: %v", err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.MaxWorkers {
+		workers = s.cfg.MaxWorkers
+	}
+	if workers > len(req.Points) {
+		workers = len(req.Points)
+	}
+
+	tf := s.toolflowFor(params)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var writeMu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Bounded worker pool streaming each outcome the moment it completes;
+	// a dropped connection stops the feeder, so at most `workers` points
+	// are still evaluated after a cancel.
+	start := time.Now()
+	ctx := r.Context()
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range req.Points {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var (
+		wg       sync.WaitGroup
+		countMu  sync.Mutex
+		failed   int
+		hits     int
+		streamed int
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				opStart := time.Now()
+				o, cached := tf.Do(req.Points[idx])
+				emit(SweepLine{Seq: idx, RunResponse: runResponse(o, cached, time.Since(opStart))})
+				countMu.Lock()
+				streamed++
+				if o.Err != nil {
+					failed++
+				}
+				if cached {
+					hits++
+				}
+				countMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	emit(SweepSummary{
+		Done:      true,
+		Total:     streamed,
+		Failed:    failed,
+		CacheHits: hits,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+// AppInfo is one entry of GET /v1/apps.
+type AppInfo struct {
+	Name          string `json:"name"`
+	Qubits        int    `json:"qubits"`
+	TwoQubitGates int    `json:"two_qubit_gates"`
+	Pattern       string `json:"pattern"`
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	var list []AppInfo
+	for _, spec := range apps.Suite() {
+		list = append(list, AppInfo{
+			Name:          spec.Name,
+			Qubits:        spec.PaperQubits,
+			TwoQubitGates: spec.PaperGate2Q,
+			Pattern:       spec.PaperPattern,
+		})
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// TopologyForm documents one device spec form of GET /v1/topologies.
+type TopologyForm struct {
+	Form        string `json:"form"`
+	Description string `json:"description"`
+}
+
+// TopologyExample is a parsed example device.
+type TopologyExample struct {
+	Spec     string `json:"spec"`
+	Capacity int    `json:"capacity"`
+	Traps    int    `json:"traps"`
+	MaxIons  int    `json:"max_ions"`
+}
+
+// TopologiesResponse is the body of GET /v1/topologies.
+type TopologiesResponse struct {
+	Forms    []TopologyForm    `json:"forms"`
+	Examples []TopologyExample `json:"examples"`
+}
+
+func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
+	resp := TopologiesResponse{
+		Forms: []TopologyForm{
+			{Form: "L<n>", Description: "n traps in a row joined by single segments (paper §VIII.B)"},
+			{Form: "G<r>x<c>", Description: "r-by-c trap grid with X/Y junctions (generalizes Figure 2b)"},
+			{Form: "R<n>", Description: "n traps in a ring"},
+		},
+	}
+	for _, ex := range []struct {
+		spec string
+		cap  int
+	}{{"L6", 22}, {"G2x3", 22}, {"R6", 22}} {
+		d, err := device.Parse(ex.spec, ex.cap)
+		if err != nil {
+			continue
+		}
+		resp.Examples = append(resp.Examples, TopologyExample{
+			Spec: ex.spec, Capacity: ex.cap, Traps: d.NumTraps(), MaxIons: d.MaxIons(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Params)
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status    string      `json:"status"`
+	UptimeS   float64     `json:"uptime_s"`
+	GoVersion string      `json:"go_version"`
+	Cache     cache.Stats `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:    "ok",
+		UptimeS:   time.Since(s.start).Seconds(),
+		GoVersion: runtime.Version(),
+		Cache:     s.outcomes.Stats(),
+	})
+}
+
+// CacheStats snapshots the shared outcome cache.
+func (s *Server) CacheStats() cache.Stats { return s.outcomes.Stats() }

@@ -1,0 +1,332 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{MaxSweepPoints: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestNewRejectsInvalidParams(t *testing.T) {
+	bad := models.Default()
+	bad.MeasureFidelity = 1.5
+	if _, err := New(Config{Params: bad}); err == nil {
+		t.Error("invalid calibration must not be silently replaced")
+	}
+	if srv, err := New(Config{}); err != nil || srv == nil {
+		t.Errorf("zero config should default: %v", err)
+	}
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRunSingleAndCacheHit(t *testing.T) {
+	srv, ts := newTestServer(t)
+	body := `{"point":{"app":"BV","topology":"L6","capacity":20,"gate":"FM","reorder":"GS"}}`
+
+	resp := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	first := decodeBody[RunResponse](t, resp)
+	if first.Error != "" || first.Result == nil {
+		t.Fatalf("first run = %+v", first)
+	}
+	if first.Cached {
+		t.Error("first evaluation must not be a cache hit")
+	}
+	if first.Result.Fidelity <= 0 || first.Result.Fidelity > 1 {
+		t.Errorf("fidelity = %g", first.Result.Fidelity)
+	}
+
+	second := decodeBody[RunResponse](t, postJSON(t, ts.URL+"/v1/run", body))
+	if !second.Cached {
+		t.Error("identical point must hit the cache")
+	}
+	if second.Result == nil || second.Result.Fidelity != first.Result.Fidelity {
+		t.Error("cached result must match the computed one")
+	}
+	if st := srv.CacheStats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("cache stats = %+v", st)
+	}
+}
+
+func TestRunComputedFailureIsAnOutcome(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Unknown app is a valid request whose evaluation fails.
+	resp := postJSON(t, ts.URL+"/v1/run", `{"point":{"app":"nope","topology":"L6","capacity":20}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decodeBody[RunResponse](t, resp)
+	if out.Error == "" || out.Result != nil {
+		t.Errorf("failed outcome = %+v", out)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, path, body string
+	}{
+		{"malformed json", "/v1/run", `{"point":`},
+		{"unknown field", "/v1/run", `{"pointt":{}}`},
+		{"missing app", "/v1/run", `{"point":{"topology":"L6","capacity":20}}`},
+		{"typo in nested point field", "/v1/run", `{"point":{"app":"BV","topology":"L6","capacity":20,"reorderr":"IS"}}`},
+		{"typo in nested params field", "/v1/run", `{"point":{"app":"BV","topology":"L6","capacity":20},"params":{"gate":"FM","bogus":1}}`},
+		{"bad gate name", "/v1/run", `{"point":{"app":"BV","topology":"L6","capacity":20,"gate":"ZZ"}}`},
+		{"zero capacity", "/v1/run", `{"point":{"app":"BV","topology":"L6"}}`},
+		{"incomplete params", "/v1/run", `{"point":{"app":"BV","topology":"L6","capacity":20},"params":{"gate":"FM"}}`},
+		{"empty sweep", "/v1/sweep", `{"points":[]}`},
+		{"oversized sweep", "/v1/sweep", `{"points":[` + strings.Repeat(`{"app":"BV","topology":"L6","capacity":20},`, 50) + `{"app":"BV","topology":"L6","capacity":20}]}`},
+		{"invalid sweep point", "/v1/sweep", `{"points":[{"app":"BV","topology":"L6","capacity":20},{"app":"","topology":"L6","capacity":20}]}`},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+		body := decodeBody[errorBody](t, resp)
+		if body.Error == "" {
+			t.Errorf("%s: missing error message", tc.name)
+		}
+	}
+
+	// Method mismatches are routed by the mux.
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSweepStreamsNDJSONWithCacheHits(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// Four submissions over two unique points: at least two must be
+	// served by the cache or an in-flight duplicate.
+	pt14 := `{"app":"BV","topology":"L6","capacity":14}`
+	pt18 := `{"app":"BV","topology":"L6","capacity":18}`
+	body := `{"points":[` + pt14 + `,` + pt18 + `,` + pt14 + `,` + pt18 + `],"workers":2}`
+
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	var (
+		lines   []SweepLine
+		summary *SweepSummary
+		seen    = map[int]bool{}
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if summary != nil {
+			t.Fatal("summary must be the last line")
+		}
+		if bytes.Contains(sc.Bytes(), []byte(`"done":true`)) {
+			var s SweepSummary
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				t.Fatal(err)
+			}
+			summary = &s
+			continue
+		}
+		if !bytes.Contains(sc.Bytes(), []byte(`"seq":`)) {
+			t.Errorf("line missing explicit seq: %q", sc.Text())
+		}
+		var line SweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Error != "" || line.Result == nil {
+			t.Errorf("line %+v", line)
+		}
+		seen[line.Seq] = true
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 4 || summary == nil {
+		t.Fatalf("lines = %d, summary = %v", len(lines), summary)
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Errorf("missing seq %d", i)
+		}
+	}
+	if summary.Total != 4 || summary.Failed != 0 {
+		t.Errorf("summary = %+v", summary)
+	}
+	st := srv.CacheStats()
+	if st.Misses != 2 {
+		t.Errorf("unique computes = %d, want 2 (stats %+v)", st.Misses, st)
+	}
+	if reused := st.Hits + st.Shared; reused != 2 {
+		t.Errorf("reused = %d, want 2 (stats %+v)", reused, st)
+	}
+	if summary.CacheHits != 2 {
+		t.Errorf("summary cache hits = %d, want 2", summary.CacheHits)
+	}
+}
+
+func TestSweepReportsFailedPoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"points":[{"app":"BV","topology":"L6","capacity":20},{"app":"nope","topology":"L6","capacity":20}]}`
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	defer resp.Body.Close()
+	var failed, ok int
+	var summary SweepSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if bytes.Contains(sc.Bytes(), []byte(`"done":true`)) {
+			if err := json.Unmarshal(sc.Bytes(), &summary); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var line SweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Error != "" {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if failed != 1 || ok != 1 {
+		t.Errorf("failed = %d ok = %d", failed, ok)
+	}
+	if summary.Total != 2 || summary.Failed != 1 {
+		t.Errorf("summary = %+v", summary)
+	}
+}
+
+func TestIntrospectionEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appList := decodeBody[[]AppInfo](t, resp)
+	if len(appList) != 6 {
+		t.Fatalf("apps = %d, want 6", len(appList))
+	}
+	names := map[string]bool{}
+	for _, a := range appList {
+		names[a.Name] = true
+		if a.Qubits <= 0 || a.TwoQubitGates <= 0 {
+			t.Errorf("app %+v missing stats", a)
+		}
+	}
+	for _, want := range []string{"Supremacy", "QAOA", "SquareRoot", "QFT", "Adder", "BV"} {
+		if !names[want] {
+			t.Errorf("missing app %s", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/topologies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos := decodeBody[TopologiesResponse](t, resp)
+	if len(topos.Forms) < 2 || len(topos.Examples) < 2 {
+		t.Errorf("topologies = %+v", topos)
+	}
+	for _, ex := range topos.Examples {
+		if ex.Traps <= 0 || ex.MaxIons <= 0 {
+			t.Errorf("example %+v not parsed", ex)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/params")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := decodeBody[models.Params](t, resp)
+	if params.Validate() != nil || params != models.Default() {
+		t.Errorf("params = %+v", params)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := decodeBody[Health](t, resp)
+	if health.Status != "ok" || health.GoVersion == "" {
+		t.Errorf("health = %+v", health)
+	}
+}
+
+func TestParamsOverrideKeysCacheSeparately(t *testing.T) {
+	srv, ts := newTestServer(t)
+	point := `"point":{"app":"BV","topology":"L6","capacity":20}`
+	base := decodeBody[RunResponse](t, postJSON(t, ts.URL+"/v1/run", `{`+point+`}`))
+	if base.Error != "" {
+		t.Fatal(base.Error)
+	}
+
+	// A full params document with doubled background heating.
+	hot := models.Default()
+	hot.BackgroundRate *= 2
+	hotJSON, err := json.Marshal(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := decodeBody[RunResponse](t, postJSON(t, ts.URL+"/v1/run",
+		`{`+point+`,"params":`+string(hotJSON)+`}`))
+	if over.Error != "" {
+		t.Fatal(over.Error)
+	}
+	if over.Cached {
+		t.Error("different calibration must not hit the base cache entry")
+	}
+	if over.Result.Fidelity >= base.Result.Fidelity {
+		t.Errorf("hotter trap should lower fidelity: %g vs %g",
+			over.Result.Fidelity, base.Result.Fidelity)
+	}
+	if st := srv.CacheStats(); st.Misses != 2 {
+		t.Errorf("unique computes = %d, want 2", st.Misses)
+	}
+}

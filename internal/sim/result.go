@@ -11,61 +11,67 @@ import (
 // Result is the outcome of simulating one program: the application-level
 // metrics (run time, reliability) and device-level metrics (heating,
 // operation counts) that the paper's evaluation reports.
+// The JSON tags define the stable wire format used by the sweep service
+// and any downstream tooling; times keep their unit suffix in the key.
 type Result struct {
 	// Name and DeviceName identify the run.
-	Name       string
-	DeviceName string
+	Name       string `json:"name"`
+	DeviceName string `json:"device"`
 
 	// TotalTime is the makespan in µs.
-	TotalTime float64
+	TotalTime float64 `json:"total_time_us"`
 	// ComputeTime and CommTime attribute the makespan to computation vs
 	// communication: an instant counts as compute when at least one gate
 	// or measurement is executing, as communication when only shuttling
 	// or reordering is in flight, and as idle otherwise (Figure 6b).
-	ComputeTime float64
-	CommTime    float64
-	IdleTime    float64
+	ComputeTime float64 `json:"compute_time_us"`
+	CommTime    float64 `json:"comm_time_us"`
+	IdleTime    float64 `json:"idle_time_us"`
 	// BusyCompute and BusyComm sum raw op durations per category
 	// (they exceed the makespan when ops overlap).
-	BusyCompute float64
-	BusyComm    float64
+	BusyCompute float64 `json:"busy_compute_us"`
+	BusyComm    float64 `json:"busy_comm_us"`
 
 	// LogFidelity is the natural log of the application fidelity; it is
 	// exact even when Fidelity underflows to zero.
-	LogFidelity float64
+	LogFidelity float64 `json:"log_fidelity"`
 	// Fidelity is the product of all operation fidelities (§V.B).
-	Fidelity float64
+	Fidelity float64 `json:"fidelity"`
 
 	// MSGates counts executed MS-class gate instances (program two-qubit
 	// gates plus the MS gates inside GS swaps).
-	MSGates int
+	MSGates int `json:"ms_gates"`
 	// MeanMotionalError and MeanBackgroundError are the average per-MS-
 	// gate contributions of the two Eq. 1 error terms (Figure 6g).
-	MeanMotionalError   float64
-	MeanBackgroundError float64
+	MeanMotionalError   float64 `json:"mean_motional_error"`
+	MeanBackgroundError float64 `json:"mean_background_error"`
 	// OneQGates and Measurements count executed 1Q ops and readouts.
-	OneQGates    int
-	Measurements int
+	OneQGates    int `json:"one_q_gates"`
+	Measurements int `json:"measurements"`
 	// MeanOneQError is the average per-1Q-gate error.
-	MeanOneQError float64
+	MeanOneQError float64 `json:"mean_one_q_error"`
 
 	// MaxMotionalEnergy is the largest chain energy observed on any trap
 	// at any time, in quanta (Figure 6f); MaxMotionalPerTrap breaks it
 	// out by trap.
-	MaxMotionalEnergy  float64
-	MaxMotionalPerTrap []float64
+	MaxMotionalEnergy  float64   `json:"max_motional_energy_quanta"`
+	MaxMotionalPerTrap []float64 `json:"max_motional_per_trap_quanta"`
 
 	// Shuttling activity counters.
-	Splits, Merges, Moves, JunctionCrossings, IonSwaps int
+	Splits            int `json:"splits"`
+	Merges            int `json:"merges"`
+	Moves             int `json:"moves"`
+	JunctionCrossings int `json:"junction_crossings"`
+	IonSwaps          int `json:"ion_swaps"`
 	// GSSwaps counts gate-based reorder operations.
-	GSSwaps int
+	GSSwaps int `json:"gs_swaps"`
 
 	// TotalWaitTime sums, over all ops, the time spent ready but queued
 	// for a busy resource (µs) — the congestion the compiler's
 	// prioritize-earlier-gates policy arbitrates. MaxWaitTime is the
 	// largest single-op wait.
-	TotalWaitTime float64
-	MaxWaitTime   float64
+	TotalWaitTime float64 `json:"total_wait_time_us"`
+	MaxWaitTime   float64 `json:"max_wait_time_us"`
 }
 
 // TotalSeconds returns the makespan in seconds (the unit of the paper's

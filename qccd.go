@@ -186,6 +186,15 @@ type (
 // NewExplorer returns a design-space explorer over the benchmark suite.
 func NewExplorer(base Params) *Explorer { return experiments.NewRunner(base) }
 
+// NewCachedExplorer returns an explorer backed by a content-addressed
+// outcome cache of at most entries results (entries <= 0 means
+// unbounded): repeated design points — within one sweep or across
+// sweeps — are computed once and identical in-flight points are
+// deduplicated (cmd/qccdd serves this over HTTP).
+func NewCachedExplorer(base Params, entries int) *Explorer {
+	return experiments.NewCachedRunner(base, entries)
+}
+
 // RunFigure6 regenerates the paper's Figure 6 (trap sizing, §IX.A).
 func RunFigure6(base Params) (*Figure6, error) { return experiments.RunFig6(base) }
 
