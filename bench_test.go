@@ -430,3 +430,81 @@ func BenchmarkQASM(b *testing.B) {
 		}
 	})
 }
+
+// largeDevice builds a linear, grid or ring device sized to hold n qubits
+// at the paper-recommended 22-ion capacity with two buffer slots.
+func largeDevice(form string, n int) (*Device, error) {
+	const capacity = 22
+	traps := (n + capacity - 3) / (capacity - 2)
+	if traps < 2 {
+		traps = 2
+	}
+	switch form {
+	case "linear":
+		return NewLinearDevice(traps, capacity)
+	case "grid":
+		return NewGridDevice(2, (traps+1)/2, capacity)
+	case "ring":
+		return ParseDevice(fmt.Sprintf("R%d", traps), capacity)
+	}
+	return nil, fmt.Errorf("unknown device form %q", form)
+}
+
+// largeForms are the topology families of the large-device benchmarks.
+var largeForms = []string{"linear", "grid", "ring"}
+
+// BenchmarkCompileLarge measures backend compilation at the 100-200 qubit
+// scale the ROADMAP targets (sized QAOA instances, the scaling study's
+// communication-heavy workload).
+func BenchmarkCompileLarge(b *testing.B) {
+	for _, n := range []int{100, 200} {
+		circ, err := Benchmark(fmt.Sprintf("QAOA@%d", n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, form := range largeForms {
+			b.Run(fmt.Sprintf("%s-%d", form, n), func(b *testing.B) {
+				dev, err := largeDevice(form, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Compile(circ, dev, DefaultCompileOptions()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimulateLarge measures simulation of pre-compiled 100-200
+// qubit programs across the three topology families.
+func BenchmarkSimulateLarge(b *testing.B) {
+	for _, n := range []int{100, 200} {
+		circ, err := Benchmark(fmt.Sprintf("QAOA@%d", n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, form := range largeForms {
+			b.Run(fmt.Sprintf("%s-%d", form, n), func(b *testing.B) {
+				dev, err := largeDevice(form, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prog, err := Compile(circ, dev, DefaultCompileOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				params := DefaultParams()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(prog, dev, params); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -79,7 +79,7 @@ func realMain() int {
 		failed += run("fig8", *csvDir, func() (artifact, error) { return experiments.RunFig8With(runner) })
 	}
 	if all || *scaling {
-		failed += run("scaling", *csvDir, func() (artifact, error) { return experiments.RunScaling(params) })
+		failed += run("scaling", *csvDir, func() (artifact, error) { return experiments.RunScalingWith(runner) })
 	}
 	if st := runner.CacheStats(); st.Misses > 0 {
 		// Misses includes retries of failed points (errors are never

@@ -1,0 +1,181 @@
+package qccd
+
+// Golden determinism test: every design point of the paper's evaluation
+// grid (the union of the Figure 6-8 sweeps, extended to the full
+// app × topology × capacity × gate × reorder cross product) must produce
+// a bit-identical sim.Result. The golden file pins the behavior of the
+// pre-optimization toolflow, so hot-path refactors of the compiler and
+// simulator are proven behavior-preserving rather than claimed to be.
+//
+// Regenerate with:
+//
+//	go test -run TestGoldenDeterminism -update-golden .
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/models"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+const goldenPath = "testdata/golden_results.json"
+
+// goldenGrid enumerates the full paper grid in deterministic order.
+func goldenGrid() []core.Point {
+	var pts []core.Point
+	for _, app := range experiments.PaperApps {
+		for _, topo := range []string{"L6", "G2x3"} {
+			for _, capacity := range experiments.PaperCapacities {
+				for _, gate := range models.GateImpls() {
+					for _, reorder := range models.ReorderMethods() {
+						pts = append(pts, core.Point{
+							App: app, Topology: topo, Capacity: capacity,
+							Gate: gate, Reorder: reorder,
+						})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// goldenLine is the serialized outcome of one design point. Result uses
+// sim.Result's stable JSON encoding; shortest-round-trip float encoding
+// makes equality of encodings equality of the float64 bits.
+type goldenLine struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func computeGolden(t *testing.T) map[string]goldenLine {
+	t.Helper()
+	tf := core.New(DefaultParams())
+	outs := tf.Sweep(goldenGrid())
+	got := make(map[string]goldenLine, len(outs))
+	for _, o := range outs {
+		line := goldenLine{}
+		if o.Err != nil {
+			line.Error = o.Err.Error()
+		} else {
+			raw, err := json.Marshal(o.Result)
+			if err != nil {
+				t.Fatalf("marshal %s: %v", o.Point, err)
+			}
+			line.Result = raw
+		}
+		got[o.Point.String()] = line
+	}
+	return got
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper grid; skipped in -short mode")
+	}
+	got := computeGolden(t)
+
+	if *updateGolden {
+		// json.MarshalIndent emits map keys in sorted order, so the golden
+		// file is deterministic without any explicit ordering here.
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d points)", goldenPath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	var want map[string]goldenLine
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden has %d points, grid has %d", len(want), len(got))
+	}
+	mismatches := 0
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: in golden but not in grid", key)
+			continue
+		}
+		if w.Error != g.Error {
+			mismatches++
+			t.Errorf("%s: error %q, golden %q", key, g.Error, w.Error)
+			continue
+		}
+		if !equalJSON(w.Result, g.Result) {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("%s: result diverged from golden\n got: %s\nwant: %s",
+					key, g.Result, w.Result)
+			}
+		}
+	}
+	if mismatches > 5 {
+		t.Errorf("... and %d more diverged points", mismatches-5)
+	}
+}
+
+// equalJSON compares two Result encodings ignoring whitespace (the golden
+// file is indented). Numbers use Go's shortest-round-trip encoding, so
+// textual equality of the compacted documents is float64 bit equality.
+func equalJSON(a, b json.RawMessage) bool {
+	// Both absent (two points failing with the same error) is equality;
+	// json.Compact rejects empty input, so check before compacting.
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	var ca, cb bytes.Buffer
+	if json.Compact(&ca, a) != nil || json.Compact(&cb, b) != nil {
+		return false
+	}
+	return ca.String() == cb.String()
+}
+
+// TestGoldenGridCoversFigures guards the grid definition itself: every
+// point any figure sweep evaluates must be inside the golden grid, so the
+// determinism pin cannot silently rot when a figure grows.
+func TestGoldenGridCoversFigures(t *testing.T) {
+	grid := make(map[string]bool)
+	for _, pt := range goldenGrid() {
+		grid[pt.String()] = true
+	}
+	var figPts []core.Point
+	for _, app := range experiments.PaperApps {
+		figPts = append(figPts, experiments.CapacitySweep(app, "L6", models.FM, models.GS, experiments.PaperCapacities)...)
+		figPts = append(figPts, experiments.CapacitySweep(app, "G2x3", models.FM, models.GS, experiments.PaperCapacities)...)
+		for _, g := range models.GateImpls() {
+			for _, r := range models.ReorderMethods() {
+				figPts = append(figPts, experiments.CapacitySweep(app, "L6", g, r, experiments.PaperCapacities)...)
+			}
+		}
+	}
+	for _, pt := range figPts {
+		if !grid[pt.String()] {
+			t.Errorf("figure point %s not covered by golden grid", pt)
+		}
+	}
+	if len(grid) != 6*2*6*4*2 {
+		t.Errorf("golden grid has %d points, want %d", len(grid), 6*2*6*4*2)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/circuit"
 )
@@ -70,13 +72,78 @@ func Suite() []Spec {
 
 // ByName builds the named benchmark from the suite. Matching is
 // case-insensitive on the ASCII letters used by the suite names.
+//
+// A name of the form "<base>@<n>" builds a size-n instance of the base
+// benchmark (e.g. "QFT@128", "QAOA@200"), which is what lets device
+// scaling studies flow through the same design-point machinery — and the
+// same outcome cache — as the paper-sized workloads. See Sized for the
+// per-app size conventions.
 func ByName(name string) (*circuit.Circuit, error) {
 	for _, s := range Suite() {
 		if equalFold(s.Name, name) {
 			return s.Build()
 		}
 	}
+	if at := strings.IndexByte(name, '@'); at > 0 {
+		n, err := strconv.Atoi(name[at+1:])
+		if err != nil {
+			return nil, fmt.Errorf("apps: bad size in benchmark name %q", name)
+		}
+		return Sized(name[:at], n)
+	}
 	return nil, fmt.Errorf("apps: unknown benchmark %q (have %v)", name, Names())
+}
+
+// MaxSizedQubits bounds the size parameter accepted by Sized (and so by
+// ByName's "<base>@<n>" form). Sized names reach the HTTP service
+// unvalidated, and an unbounded n is a resource-exhaustion vector: a
+// QFT@n circuit holds ~n²/2 gate records, so one request naming a huge
+// size would build a multi-gigabyte circuit and pin it in the toolflow
+// cache. The cap comfortably covers the TITAN-scale (500+ qubit) studies
+// on the roadmap.
+const MaxSizedQubits = 1024
+
+// Sized builds an n-qubit instance of a suite benchmark family. The size
+// convention varies per family (for BV the parameter counts data qubits,
+// so the circuit holds one more):
+//
+//   - QFT@n:        n-qubit QFT, any n >= 1
+//   - QAOA@n:       the paper's 20-layer ansatz on n qubits, n >= 2
+//   - BV@n:         n data qubits plus the ancilla (n+1 total), n >= 1
+//   - Adder@n:      two (n-2)/2-bit registers plus carries; n even, >= 4
+//   - SquareRoot@n: n/2 search qubits; n even, >= 6
+//   - Supremacy@n:  an 8×(n/8) grid at the paper's 8.75 gates/qubit
+//     density; n divisible by 8, >= 16
+func Sized(base string, n int) (*circuit.Circuit, error) {
+	if n < 1 || n > MaxSizedQubits {
+		return nil, fmt.Errorf("apps: %s@%d: size must be in [1, %d]", base, n, MaxSizedQubits)
+	}
+	switch {
+	case equalFold(base, "QFT"):
+		return QFT(n)
+	case equalFold(base, "QAOA"):
+		return QAOA(n, 20, 1)
+	case equalFold(base, "BV"):
+		return BV(n)
+	case equalFold(base, "Adder"):
+		if n < 4 || n%2 != 0 {
+			return nil, fmt.Errorf("apps: Adder@%d: size must be even and >= 4", n)
+		}
+		return Adder((n - 2) / 2)
+	case equalFold(base, "SquareRoot"):
+		if n < 6 || n%2 != 0 {
+			return nil, fmt.Errorf("apps: SquareRoot@%d: size must be even and >= 6", n)
+		}
+		return SquareRoot(n / 2)
+	case equalFold(base, "Supremacy"):
+		if n < 16 || n%8 != 0 {
+			return nil, fmt.Errorf("apps: Supremacy@%d: size must be a multiple of 8, >= 16", n)
+		}
+		// The paper's 64-qubit instance runs 560 two-qubit gates; keep the
+		// same per-qubit gate density as the grid widens.
+		return Supremacy(8, n/8, 560*n/64, 1)
+	}
+	return nil, fmt.Errorf("apps: unknown sized benchmark %q (have %v)", base, Names())
 }
 
 // Names lists the suite benchmark names in Table II order.

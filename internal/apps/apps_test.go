@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/circuit"
@@ -217,5 +218,58 @@ func TestNames(t *testing.T) {
 	names := Names()
 	if len(names) != 6 || names[0] != "Supremacy" || names[5] != "BV" {
 		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSizedBenchmarks(t *testing.T) {
+	cases := []struct {
+		name   string
+		qubits int
+	}{
+		{"QFT@128", 128},
+		{"QAOA@96", 96},
+		{"BV@32", 33}, // n data qubits plus ancilla
+		{"Adder@64", 64},
+		{"SquareRoot@78", 78},
+		{"Supremacy@128", 128},
+	}
+	for _, tc := range cases {
+		c, err := ByName(tc.name)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: invalid circuit: %v", tc.name, err)
+		}
+		if c.NumQubits != tc.qubits {
+			t.Errorf("%s: %d qubits, want %d", tc.name, c.NumQubits, tc.qubits)
+		}
+	}
+	// Out-of-range sizes must be rejected before any circuit is built:
+	// sized names arrive from the HTTP service, so an unbounded size
+	// would be a resource-exhaustion vector (QFT@n holds ~n²/2 gates).
+	for _, bad := range []string{"QFT@", "QFT@x", "QFT@0", "QFT@-3", "QFT@100000",
+		fmt.Sprintf("QFT@%d", MaxSizedQubits+1),
+		"Adder@63", "SquareRoot@7", "Supremacy@20", "Nope@12", "@12"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("%s: expected error", bad)
+		}
+	}
+	if _, err := ByName(fmt.Sprintf("QFT@%d", MaxSizedQubits)); err != nil {
+		t.Errorf("QFT@%d (the cap itself) should build: %v", MaxSizedQubits, err)
+	}
+	// The paper-sized instance and its sized alias must be identical.
+	a, err := ByName("QFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("QFT@64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumQubits != b.NumQubits || len(a.Gates) != len(b.Gates) {
+		t.Errorf("QFT and QFT@64 differ: %d/%d qubits, %d/%d gates",
+			a.NumQubits, b.NumQubits, len(a.Gates), len(b.Gates))
 	}
 }

@@ -15,7 +15,10 @@ type DAG struct {
 	InDegree []int
 }
 
-// BuildDAG constructs the dependency DAG for c.
+// BuildDAG constructs the dependency DAG for c. The per-node edge lists
+// are subslices of two flat arrays sized from the circuit's operand
+// count, so construction performs a constant number of allocations
+// regardless of gate count.
 func BuildDAG(c *Circuit) *DAG {
 	n := len(c.Gates)
 	d := &DAG{
@@ -27,16 +30,53 @@ func BuildDAG(c *Circuit) *DAG {
 	for i := range last {
 		last[i] = -1
 	}
+	maxEdges := 0
+	for i := range c.Gates {
+		maxEdges += len(c.Gates[i].Qubits)
+	}
+	predsFlat := make([]int, 0, maxEdges)
+	succCount := make([]int, n)
 	for i, g := range c.Gates {
-		seen := map[int]bool{} // dedupe: a 2Q gate may depend on one pred via both qubits
+		base := len(predsFlat)
 		for _, q := range g.Qubits {
-			if p := last[q]; p >= 0 && !seen[p] {
-				seen[p] = true
-				d.Succs[p] = append(d.Succs[p], i)
-				d.Preds[i] = append(d.Preds[i], p)
-				d.InDegree[i]++
+			if p := last[q]; p >= 0 {
+				// Dedupe: a multi-qubit gate may depend on one pred via
+				// several qubits. The scan is over this gate's preds only.
+				dup := false
+				for _, e := range predsFlat[base:] {
+					if e == p {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					predsFlat = append(predsFlat, p)
+					succCount[p]++
+				}
 			}
 			last[q] = i
+		}
+		if base < len(predsFlat) {
+			d.Preds[i] = predsFlat[base:len(predsFlat):len(predsFlat)]
+			d.InDegree[i] = len(predsFlat) - base
+		}
+	}
+	succOff := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		succOff[i+1] = succOff[i] + succCount[i]
+	}
+	succsFlat := make([]int, succOff[n])
+	fill := succCount // reuse as write cursors
+	copy(fill, succOff[:n])
+	for i := 0; i < n; i++ {
+		for _, p := range d.Preds[i] {
+			succsFlat[fill[p]] = i
+			fill[p]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if succOff[i] < succOff[i+1] {
+			d.Succs[i] = succsFlat[succOff[i]:succOff[i+1]:succOff[i+1]]
 		}
 	}
 	return d
@@ -64,8 +104,9 @@ func (d *DAG) TopoOrder() ([]int, bool) {
 	n := d.Len()
 	indeg := make([]int, n)
 	copy(indeg, d.InDegree)
-	// Ready set kept as a min-heap over gate index.
-	h := &intHeap{}
+	// Ready set kept as a min-heap over gate index, preallocated so ready
+	// bursts (wide layers) never reallocate.
+	h := &intHeap{a: make([]int, 0, n)}
 	for i, deg := range indeg {
 		if deg == 0 {
 			h.push(i)

@@ -17,11 +17,17 @@
 // simulator grants contended resources to the lowest op ID first, which
 // realizes the paper's "prioritize earlier gates" congestion policy and —
 // because ops hold at most one resource — cannot deadlock.
+//
+// The hot paths are index-based: chains are fixed-capacity ring buffers
+// with an incremental qubit→slot index, so qubit positions, end
+// insertions and end removals are O(1) instead of copying slices, and op
+// dependency sets are deduplicated through a three-entry scratch instead
+// of a per-op map. Qubit and dependency slices are carved from chunked
+// arenas, so emitting an op costs amortized zero allocations.
 package compiler
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
@@ -80,7 +86,13 @@ func Compile(c *circuit.Circuit, d *device.Device, opts Options) (*isa.Program, 
 		opts:   opts,
 		router: device.NewRouter(d, opts.RouteCosts),
 		trapOf: make([]int, c.NumQubits),
+		qSlot:  make([]int, c.NumQubits),
 	}
+	// Across the paper suite the op list runs 1.05-1.25× the gate count
+	// (communication ops are amortized by multi-gate stays); seeding at
+	// 1.5× absorbs nearly all growth-copy churn without zeroing memory
+	// that shuttle-light workloads never touch.
+	cc.ops = make([]isa.Op, 0, 3*len(c.Gates)/2+16)
 	cc.mapQubits()
 	if err := cc.run(); err != nil {
 		return nil, err
@@ -98,6 +110,27 @@ func Compile(c *circuit.Circuit, d *device.Device, opts Options) (*isa.Program, 
 	return prog, nil
 }
 
+// trapChain is one trap's live chain during compilation: a fixed-capacity
+// ring buffer of qubit IDs (position 0 = left end). Together with the
+// compilation's qubit→slot index, positions and end operations are O(1).
+type trapChain struct {
+	buf  []int
+	head int
+	n    int
+}
+
+// slotAt returns the ring slot of chain position i.
+func (c *trapChain) slotAt(i int) int {
+	s := c.head + i
+	if s >= len(c.buf) {
+		s -= len(c.buf)
+	}
+	return s
+}
+
+// at returns the qubit at chain position i.
+func (c *trapChain) at(i int) int { return c.buf[c.slotAt(i)] }
+
 // compilation holds the mutable state of one Compile call.
 type compilation struct {
 	circ   *circuit.Circuit
@@ -105,8 +138,9 @@ type compilation struct {
 	opts   Options
 	router *device.Router
 
-	chains        [][]int // per trap: qubit IDs in chain order (0 = left end)
-	trapOf        []int   // qubit -> trap (-1 while in transit)
+	chains        []trapChain // per trap: live chain (0 = left end)
+	trapOf        []int       // qubit -> trap (-1 while in transit)
+	qSlot         []int       // qubit -> ring slot within its trap's chain
 	initialLayout [][]int
 
 	ops           []isa.Op
@@ -115,6 +149,37 @@ type compilation struct {
 
 	useLists  [][]int // qubit -> sorted gate indices of its IR gates
 	useCounts []int   // qubit -> IR gates already emitted (cursor into useLists)
+
+	intArena []int // chunked backing store for op Qubits/Deps slices
+}
+
+// arenaInts carves an n-int slice from the chunked arena. Returned slices
+// have cap == len, so appends by callers can never alias a neighbor.
+func (cc *compilation) arenaInts(n int) []int {
+	const chunk = 4096
+	if len(cc.intArena)+n > cap(cc.intArena) {
+		size := chunk
+		if n > size {
+			size = n
+		}
+		cc.intArena = make([]int, 0, size)
+	}
+	s := cc.intArena[len(cc.intArena) : len(cc.intArena)+n : len(cc.intArena)+n]
+	cc.intArena = cc.intArena[:len(cc.intArena)+n]
+	return s
+}
+
+// qubits1 and qubits2 build arena-backed operand slices.
+func (cc *compilation) qubits1(q int) []int {
+	s := cc.arenaInts(1)
+	s[0] = q
+	return s
+}
+
+func (cc *compilation) qubits2(a, b int) []int {
+	s := cc.arenaInts(2)
+	s[0], s[1] = a, b
+	return s
 }
 
 // mapQubits places qubits into traps in first-use order, filling each trap
@@ -137,18 +202,30 @@ func (cc *compilation) mapQubits() {
 			usable = even
 		}
 	}
-	cc.chains = make([][]int, d.NumTraps())
+	cc.chains = make([]trapChain, d.NumTraps())
+	for t := range cc.chains {
+		cc.chains[t].buf = make([]int, d.Capacity)
+	}
 	trap := 0
 	for _, q := range c.FirstUseOrder() {
-		for len(cc.chains[trap]) >= usable {
+		for cc.chains[trap].n >= usable {
 			trap++
 		}
-		cc.chains[trap] = append(cc.chains[trap], q)
+		ch := &cc.chains[trap]
+		slot := ch.slotAt(ch.n)
+		ch.buf[slot] = q
+		ch.n++
 		cc.trapOf[q] = trap
+		cc.qSlot[q] = slot
 	}
 	cc.initialLayout = make([][]int, d.NumTraps())
-	for t, chain := range cc.chains {
-		cc.initialLayout[t] = append([]int(nil), chain...)
+	for t := range cc.chains {
+		ch := &cc.chains[t]
+		layout := make([]int, ch.n)
+		for i := 0; i < ch.n; i++ {
+			layout[i] = ch.at(i)
+		}
+		cc.initialLayout[t] = layout
 	}
 	cc.lastOfQubit = make([]int, c.NumQubits)
 	for i := range cc.lastOfQubit {
@@ -158,7 +235,25 @@ func (cc *compilation) mapQubits() {
 	for i := range cc.lastStructure {
 		cc.lastStructure[i] = -1
 	}
+	// Per-qubit use lists as subslices of one flat counted array.
 	cc.useLists = make([][]int, c.NumQubits)
+	counts := make([]int, c.NumQubits)
+	total := 0
+	for gi := range c.Gates {
+		if c.Gates[gi].Kind == circuit.GateBarrier {
+			continue
+		}
+		for _, q := range c.Gates[gi].Qubits {
+			counts[q]++
+			total++
+		}
+	}
+	flat := make([]int, total)
+	off := 0
+	for q, n := range counts {
+		cc.useLists[q] = flat[off : off : off+n]
+		off += n
+	}
 	for gi, g := range c.Gates {
 		if g.Kind == circuit.GateBarrier {
 			continue
@@ -186,13 +281,13 @@ func (cc *compilation) run() error {
 		case g.Kind == circuit.GateMeasure:
 			q := g.Qubits[0]
 			cc.addOp(isa.Op{
-				Kind: isa.OpMeasure, Qubits: []int{q}, Trap: cc.trapOf[q],
+				Kind: isa.OpMeasure, Qubits: cc.qubits1(q), Trap: cc.trapOf[q],
 				Gate: g.Kind, GateIndex: gi,
 			}, false)
 		case g.Kind.IsSingleQubit():
 			q := g.Qubits[0]
 			cc.addOp(isa.Op{
-				Kind: isa.OpGate1, Qubits: []int{q}, Trap: cc.trapOf[q],
+				Kind: isa.OpGate1, Qubits: cc.qubits1(q), Trap: cc.trapOf[q],
 				Gate: g.Kind, Param: g.Param, GateIndex: gi,
 			}, false)
 		case g.Kind.IsTwoQubit():
@@ -221,7 +316,7 @@ func (cc *compilation) twoQubit(gi int, g circuit.Gate) error {
 		}
 	}
 	cc.addOp(isa.Op{
-		Kind: isa.OpGate2, Qubits: []int{a, b}, Trap: cc.trapOf[a],
+		Kind: isa.OpGate2, Qubits: cc.qubits2(a, b), Trap: cc.trapOf[a],
 		Gate: g.Kind, Param: g.Param, GateIndex: gi,
 	}, false)
 	return nil
@@ -252,7 +347,7 @@ func (cc *compilation) moveCost(mover, src, dst int) float64 {
 	// Graded occupancy penalty: steering gates away from nearly-full
 	// destinations avoids eviction churn, which costs far more (a full
 	// shuttle plus usually a reorder) than routing the other operand.
-	switch free := cc.dev.Capacity - len(cc.chains[dst]); {
+	switch free := cc.dev.Capacity - cc.chains[dst].n; {
 	case free <= 0:
 		dist += 1e6
 	case free == 1:
@@ -270,7 +365,7 @@ func (cc *compilation) reorderSteps(q, t int, end device.End) int {
 	if end == device.Left {
 		return pos
 	}
-	return len(cc.chains[t]) - 1 - pos
+	return cc.chains[t].n - 1 - pos
 }
 
 // shuttle moves qubit q from trap src to trap dst along the shortest
@@ -301,29 +396,29 @@ func (cc *compilation) shuttle(q, src, dst, gi, depth int, keep []int) error {
 
 	cc.reorderToEnd(q, src, route.SrcEnd, gi)
 	cc.addOp(isa.Op{
-		Kind: isa.OpSplit, Qubits: []int{q}, Trap: src, End: route.SrcEnd, GateIndex: gi,
+		Kind: isa.OpSplit, Qubits: cc.qubits1(q), Trap: src, End: route.SrcEnd, GateIndex: gi,
 	}, true)
 	cc.removeFromChain(q, src)
 
 	for _, hop := range route.Hops {
 		cc.addOp(isa.Op{
-			Kind: isa.OpMove, Qubits: []int{q}, Trap: -1, Segment: hop.Segment, GateIndex: gi,
+			Kind: isa.OpMove, Qubits: cc.qubits1(q), Trap: -1, Segment: hop.Segment, GateIndex: gi,
 		}, false)
 		switch hop.Node.Kind {
 		case device.NodeJunction:
 			cc.addOp(isa.Op{
-				Kind: isa.OpJunctionCross, Qubits: []int{q}, Trap: -1,
+				Kind: isa.OpJunctionCross, Qubits: cc.qubits1(q), Trap: -1,
 				Junction: hop.Node.Index, GateIndex: gi,
 			}, false)
 		case device.NodeTrap:
 			t := hop.Node.Index
-			for len(cc.chains[t]) >= cc.dev.Capacity {
+			for cc.chains[t].n >= cc.dev.Capacity {
 				if err := cc.evictOne(t, routeTraps, depth, protected); err != nil {
 					return err
 				}
 			}
 			cc.addOp(isa.Op{
-				Kind: isa.OpMerge, Qubits: []int{q}, Trap: t, End: hop.EnterEnd, GateIndex: gi,
+				Kind: isa.OpMerge, Qubits: cc.qubits1(q), Trap: t, End: hop.EnterEnd, GateIndex: gi,
 			}, true)
 			cc.insertIntoChain(q, t, hop.EnterEnd)
 			if t != dst {
@@ -332,7 +427,7 @@ func (cc *compilation) shuttle(q, src, dst, gi, depth int, keep []int) error {
 				exit := hop.EnterEnd.Opposite()
 				cc.reorderToEnd(q, t, exit, gi)
 				cc.addOp(isa.Op{
-					Kind: isa.OpSplit, Qubits: []int{q}, Trap: t, End: exit, GateIndex: gi,
+					Kind: isa.OpSplit, Qubits: cc.qubits1(q), Trap: t, End: exit, GateIndex: gi,
 				}, true)
 				cc.removeFromChain(q, t)
 			}
@@ -346,7 +441,9 @@ func (cc *compilation) shuttle(q, src, dst, gi, depth int, keep []int) error {
 // sent to the nearest trap with room, preferring traps outside softAvoid.
 func (cc *compilation) evictOne(t int, softAvoid []int, depth int, keep []int) error {
 	victim, victimUse := -1, -1
-	for _, q := range cc.chains[t] {
+	ch := &cc.chains[t]
+	for i := 0; i < ch.n; i++ {
+		q := ch.at(i)
 		if contains(keep, q) {
 			continue
 		}
@@ -384,7 +481,7 @@ func (cc *compilation) nextUse(q int) int {
 func (cc *compilation) nearestSpace(t int, avoid []int) int {
 	best, bestDist := -1, 0.0
 	for cand := 0; cand < cc.dev.NumTraps(); cand++ {
-		if cand == t || len(cc.chains[cand]) >= cc.dev.Capacity || contains(avoid, cand) {
+		if cand == t || cc.chains[cand].n >= cc.dev.Capacity || contains(avoid, cand) {
 			continue
 		}
 		dist, err := cc.router.Distance(t, cand)
@@ -407,76 +504,102 @@ func contains(xs []int, x int) bool {
 	return false
 }
 
+// swapInChain exchanges the chain slots of two resident qubits of trap t.
+func (cc *compilation) swapInChain(t, a, b int) {
+	ch := &cc.chains[t]
+	sa, sb := cc.qSlot[a], cc.qSlot[b]
+	ch.buf[sa], ch.buf[sb] = b, a
+	cc.qSlot[a], cc.qSlot[b] = sb, sa
+}
+
 // reorderToEnd brings qubit q to the given chain end of trap t using the
 // configured reordering method, emitting the necessary ops.
 func (cc *compilation) reorderToEnd(q, t int, end device.End, gi int) {
-	chain := cc.chains[t]
+	ch := &cc.chains[t]
 	pos := cc.position(q, t)
 	target := 0
 	if end == device.Right {
-		target = len(chain) - 1
+		target = ch.n - 1
 	}
 	if pos == target {
 		return
 	}
 	switch cc.opts.Reorder {
 	case models.GS:
-		other := chain[target]
+		other := ch.at(target)
 		cc.addOp(isa.Op{
-			Kind: isa.OpSwapGS, Qubits: []int{q, other}, Trap: t, GateIndex: gi,
+			Kind: isa.OpSwapGS, Qubits: cc.qubits2(q, other), Trap: t, GateIndex: gi,
 		}, true)
-		chain[pos], chain[target] = chain[target], chain[pos]
+		cc.swapInChain(t, q, other)
 	case models.IS:
 		step := 1
 		if target < pos {
 			step = -1
 		}
 		for p := pos; p != target; p += step {
-			neighbor := chain[p+step]
+			neighbor := ch.at(p + step)
 			cc.addOp(isa.Op{
-				Kind: isa.OpIonSwap, Qubits: []int{q, neighbor}, Trap: t, GateIndex: gi,
+				Kind: isa.OpIonSwap, Qubits: cc.qubits2(q, neighbor), Trap: t, GateIndex: gi,
 			}, true)
-			chain[p], chain[p+step] = chain[p+step], chain[p]
+			cc.swapInChain(t, q, neighbor)
 		}
 	}
 }
 
 // position returns q's index within trap t's chain.
 func (cc *compilation) position(q, t int) int {
-	for i, x := range cc.chains[t] {
-		if x == q {
-			return i
-		}
+	if cc.trapOf[q] != t {
+		panic(fmt.Sprintf("compiler: qubit %d not in trap %d", q, t))
 	}
-	panic(fmt.Sprintf("compiler: qubit %d not in trap %d", q, t))
+	ch := &cc.chains[t]
+	p := cc.qSlot[q] - ch.head
+	if p < 0 {
+		p += len(ch.buf)
+	}
+	return p
 }
 
 // removeFromChain detaches q from trap t's chain end.
 func (cc *compilation) removeFromChain(q, t int) {
-	chain := cc.chains[t]
-	switch {
-	case len(chain) > 0 && chain[0] == q:
-		cc.chains[t] = chain[1:]
-	case len(chain) > 0 && chain[len(chain)-1] == q:
-		cc.chains[t] = chain[:len(chain)-1]
+	ch := &cc.chains[t]
+	switch pos := cc.position(q, t); {
+	case ch.n > 0 && pos == 0:
+		ch.head = ch.slotAt(1)
+		ch.n--
+	case ch.n > 0 && pos == ch.n-1:
+		ch.n--
 	default:
-		panic(fmt.Sprintf("compiler: split of qubit %d not at an end of trap %d (%v)", q, t, chain))
+		panic(fmt.Sprintf("compiler: split of qubit %d not at an end of trap %d", q, t))
 	}
 	cc.trapOf[q] = -1
 }
 
 // insertIntoChain attaches q at the given end of trap t's chain.
 func (cc *compilation) insertIntoChain(q, t int, end device.End) {
+	ch := &cc.chains[t]
+	var slot int
 	if end == device.Left {
-		cc.chains[t] = append([]int{q}, cc.chains[t]...)
+		slot = ch.head - 1
+		if slot < 0 {
+			slot += len(ch.buf)
+		}
+		ch.head = slot
 	} else {
-		cc.chains[t] = append(append([]int(nil), cc.chains[t]...), q)
+		slot = ch.slotAt(ch.n)
 	}
+	ch.buf[slot] = q
+	ch.n++
 	cc.trapOf[q] = t
+	cc.qSlot[q] = slot
 }
 
 // addOp finalizes an op: assigns its ID, derives its dependencies, updates
 // the per-qubit and per-trap bookkeeping, and appends it.
+//
+// An op has at most three dependency sources (two operand qubits plus its
+// trap's structural predecessor), so dedup runs over a three-entry
+// scratch and emits an already-sorted arena-backed slice — no map, no
+// per-op allocation.
 func (cc *compilation) addOp(op isa.Op, structural bool) int {
 	id := len(cc.ops)
 	op.ID = id
@@ -486,23 +609,35 @@ func (cc *compilation) addOp(op isa.Op, structural bool) int {
 	if op.Kind != isa.OpJunctionCross {
 		op.Junction = -1
 	}
-	deps := map[int]bool{}
-	for _, q := range op.Qubits {
-		if last := cc.lastOfQubit[q]; last >= 0 {
-			deps[last] = true
+	var scratch [3]int
+	nd := 0
+	addDep := func(d int) {
+		if d < 0 {
+			return
 		}
+		for i := 0; i < nd; i++ {
+			if scratch[i] == d {
+				return
+			}
+		}
+		scratch[nd] = d
+		nd++
+	}
+	for _, q := range op.Qubits {
+		addDep(cc.lastOfQubit[q])
 	}
 	if structural {
-		if last := cc.lastStructure[op.Trap]; last >= 0 {
-			deps[last] = true
-		}
+		addDep(cc.lastStructure[op.Trap])
 	}
-	if len(deps) > 0 {
-		op.Deps = make([]int, 0, len(deps))
-		for d := range deps {
-			op.Deps = append(op.Deps, d)
+	if nd > 0 {
+		// Insertion sort over at most three entries.
+		for i := 1; i < nd; i++ {
+			for j := i; j > 0 && scratch[j] < scratch[j-1]; j-- {
+				scratch[j], scratch[j-1] = scratch[j-1], scratch[j]
+			}
 		}
-		sort.Ints(op.Deps)
+		op.Deps = cc.arenaInts(nd)
+		copy(op.Deps, scratch[:nd])
 	}
 	for _, q := range op.Qubits {
 		cc.lastOfQubit[q] = id

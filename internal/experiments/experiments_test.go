@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -262,7 +263,11 @@ func TestScalingStudy(t *testing.T) {
 		t.Fatalf("rows = %d, want 20", len(s.Rows))
 	}
 	for _, r := range s.Rows {
-		if r.Result.Fidelity <= 0 {
+		if r.Outcome.Err != nil {
+			t.Errorf("%s/%d on %s: %v", r.App, r.Qubits, r.Topology, r.Outcome.Err)
+			continue
+		}
+		if r.Result().Fidelity <= 0 {
 			t.Errorf("%s/%d on %s: non-positive fidelity", r.App, r.Qubits, r.Topology)
 		}
 		if r.Qubits > r.Traps*r.Capacity {
@@ -322,5 +327,53 @@ func TestFigureCSVExports(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "QAOA/AM2-GS") {
 		t.Error("fig8 csv series")
+	}
+}
+
+// TestScalingFailureContract pins the NaN-plus-failure reporting of the
+// scaling study: failed points surface through Failures() and render as
+// NaN, never aborting the study.
+func TestScalingFailureContract(t *testing.T) {
+	s := &Scaling{Rows: []ScalingRow{
+		{App: "QFT", Qubits: 64, Topology: "L4", Traps: 4, Capacity: 22,
+			Outcome: Outcome{Point: Point{App: "QFT@64", Topology: "L4", Capacity: 22},
+				Err: errors.New("synthetic failure")}},
+	}}
+	fails := s.Failures()
+	if len(fails) != 1 || fails[0].Err == nil {
+		t.Fatalf("Failures() = %v, want the one failed outcome", fails)
+	}
+	var csv strings.Builder
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "NaN") {
+		t.Errorf("failed row should render as NaN:\n%s", csv.String())
+	}
+	if !strings.Contains(s.Render(), "NaN") {
+		t.Errorf("failed row should render as NaN in the table")
+	}
+}
+
+// TestScalingSharesRunnerCache verifies the study flows through the
+// shared outcome cache: a second run on the same runner recomputes
+// nothing.
+func TestScalingSharesRunnerCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scaling sweep")
+	}
+	r := NewCachedRunner(models.Default(), 0)
+	if _, err := RunScalingWith(r); err != nil {
+		t.Fatal(err)
+	}
+	misses := r.CacheStats().Misses
+	if misses == 0 {
+		t.Fatal("first run should compute points")
+	}
+	if _, err := RunScalingWith(r); err != nil {
+		t.Fatal(err)
+	}
+	if again := r.CacheStats().Misses; again != misses {
+		t.Errorf("second run recomputed %d points, want 0", again-misses)
 	}
 }

@@ -3,12 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
-	"repro/internal/apps"
-	"repro/internal/circuit"
-	"repro/internal/compiler"
-	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/sim"
@@ -23,8 +20,13 @@ type ScalingRow struct {
 	Topology string
 	Traps    int
 	Capacity int
-	Result   *sim.Result
+	// Outcome is the raw design-point outcome; a failed point carries its
+	// error and renders as NaN, like the figure sweeps.
+	Outcome Outcome
 }
+
+// Result returns the simulation result, or nil for a failed point.
+func (r ScalingRow) Result() *sim.Result { return r.Outcome.Result }
 
 // Scaling holds the device-scaling study (§VIII.B motivates 50-200 qubit
 // QCCD systems; the paper evaluates 64-78 — this extends the sweep to 200
@@ -37,59 +39,85 @@ type Scaling struct {
 // scalingSizes is the qubit grid for the scaling study.
 var scalingSizes = []int{64, 96, 128, 160, 200}
 
-// RunScaling executes the scaling study for QAOA and QFT on linear and
-// grid devices sized at 22 ions per trap.
-func RunScaling(base models.Params) (*Scaling, error) {
-	const capacity = 22
-	s := &Scaling{}
+// scalingCapacity is the fixed per-trap ion limit of the study.
+const scalingCapacity = 22
+
+// scalingPoints builds the study's design points: sized QAOA and QFT
+// instances ("QAOA@n", "QFT@n") on linear and 2-row grid devices sized to
+// hold them with the mapper's two buffer slots per trap.
+func scalingPoints(gate models.GateImpl) ([]Point, []ScalingRow) {
+	var pts []Point
+	var rows []ScalingRow
 	for _, n := range scalingSizes {
-		traps := (n + capacity - 3) / (capacity - 2) // room for 2 buffer slots
+		traps := (n + scalingCapacity - 3) / (scalingCapacity - 2) // room for 2 buffer slots
 		if traps < 2 {
 			traps = 2
 		}
-		builders := map[string]func() (*circuit.Circuit, error){
-			"QAOA": func() (*circuit.Circuit, error) { return apps.QAOA(n, 20, 1) },
-			"QFT":  func() (*circuit.Circuit, error) { return apps.QFT(n) },
-		}
-		devices := []func() (*device.Device, error){
-			func() (*device.Device, error) { return device.NewLinear(traps, capacity) },
-			func() (*device.Device, error) {
-				cols := (traps + 1) / 2
-				return device.NewGrid(2, cols, capacity)
-			},
+		cols := (traps + 1) / 2
+		topologies := []struct {
+			spec  string
+			traps int
+		}{
+			{fmt.Sprintf("L%d", traps), traps},
+			{fmt.Sprintf("G2x%d", cols), 2 * cols},
 		}
 		for _, app := range []string{"QAOA", "QFT"} {
-			c, err := builders[app]()
-			if err != nil {
-				return nil, fmt.Errorf("scaling %s/%d: %w", app, n, err)
-			}
-			for _, mk := range devices {
-				d, err := mk()
-				if err != nil {
-					return nil, fmt.Errorf("scaling %s/%d: %w", app, n, err)
-				}
-				prog, err := compiler.Compile(c, d, compiler.DefaultOptions())
-				if err != nil {
-					return nil, fmt.Errorf("scaling %s/%d on %s: %w", app, n, d.Name, err)
-				}
-				res, err := sim.Run(prog, d, base)
-				if err != nil {
-					return nil, fmt.Errorf("scaling %s/%d on %s: %w", app, n, d.Name, err)
-				}
-				s.Rows = append(s.Rows, ScalingRow{
-					App: app, Qubits: n, Topology: d.Name,
-					Traps: d.NumTraps(), Capacity: capacity, Result: res,
+			for _, topo := range topologies {
+				pts = append(pts, Point{
+					App:      fmt.Sprintf("%s@%d", app, n),
+					Topology: topo.spec,
+					Capacity: scalingCapacity,
+					Gate:     gate,
+					Reorder:  models.GS,
+				})
+				rows = append(rows, ScalingRow{
+					App: app, Qubits: n, Topology: topo.spec,
+					Traps: topo.traps, Capacity: scalingCapacity,
 				})
 			}
 		}
 	}
-	return s, nil
+	return pts, rows
 }
 
-// Failures returns nil: the scaling study aborts on its first error
-// instead of recording failed points (it builds bespoke devices rather
-// than sweeping toolflow design points).
-func (s *Scaling) Failures() []Outcome { return nil }
+// RunScaling executes the scaling study for QAOA and QFT on linear and
+// grid devices sized at 22 ions per trap, on a fresh uncached runner.
+func RunScaling(base models.Params) (*Scaling, error) {
+	return RunScalingWith(NewRunner(base))
+}
+
+// RunScalingWith executes the scaling study on r, evaluating points in
+// parallel through the shared toolflow (and its outcome cache, when r has
+// one). Failed points are recorded in their rows and reported via
+// Failures, never aborting the rest of the sweep.
+func RunScalingWith(r *Runner) (*Scaling, error) {
+	pts, rows := scalingPoints(r.Params().Gate)
+	outs := r.Sweep(pts)
+	for i := range rows {
+		rows[i].Outcome = outs[i]
+	}
+	return &Scaling{Rows: rows}, nil
+}
+
+// Failures returns the failed design points, in sweep order.
+func (s *Scaling) Failures() []Outcome {
+	var fails []Outcome
+	for _, r := range s.Rows {
+		if r.Outcome.Err != nil {
+			fails = append(fails, r.Outcome)
+		}
+	}
+	return fails
+}
+
+// rowMetrics extracts the rendered metrics, NaN for a failed row.
+func rowMetrics(r ScalingRow) (timeS, fid, logFid, maxE float64) {
+	if res := r.Result(); res != nil {
+		return res.TotalSeconds(), res.Fidelity, res.LogFidelity, res.MaxMotionalEnergy
+	}
+	nan := math.NaN()
+	return nan, nan, nan, nan
+}
 
 // Render prints the scaling study as a table.
 func (s *Scaling) Render() string {
@@ -98,10 +126,9 @@ func (s *Scaling) Render() string {
 	fmt.Fprintf(&b, "%-6s %7s %-7s %6s %10s %12s %12s %8s\n",
 		"app", "qubits", "device", "traps", "time(s)", "fidelity", "log-fid", "maxE")
 	for _, r := range s.Rows {
+		timeS, fid, logFid, maxE := rowMetrics(r)
 		fmt.Fprintf(&b, "%-6s %7d %-7s %6d %10.4f %12.3e %12.1f %8.1f\n",
-			r.App, r.Qubits, r.Topology, r.Traps,
-			r.Result.TotalSeconds(), r.Result.Fidelity, r.Result.LogFidelity,
-			r.Result.MaxMotionalEnergy)
+			r.App, r.Qubits, r.Topology, r.Traps, timeS, fid, logFid, maxE)
 	}
 	b.WriteString("\nScaling by trap count keeps chains inside the capacity sweet spot: the\n")
 	b.WriteString("per-two-qubit-gate error grows only a few-fold from 64 to 200 qubits while\n")
@@ -117,12 +144,13 @@ func (s *Scaling) WriteCSV(w io.Writer) error {
 	header := []string{"app", "qubits", "device", "traps", "capacity", "time_s", "fidelity", "log_fidelity", "max_energy_quanta"}
 	var rows [][]string
 	for _, r := range s.Rows {
+		timeS, fid, logFid, maxE := rowMetrics(r)
 		rows = append(rows, []string{
 			r.App, fmt.Sprint(r.Qubits), r.Topology, fmt.Sprint(r.Traps), fmt.Sprint(r.Capacity),
-			fmt.Sprintf("%.6f", r.Result.TotalSeconds()),
-			fmt.Sprintf("%.6e", r.Result.Fidelity),
-			fmt.Sprintf("%.4f", r.Result.LogFidelity),
-			fmt.Sprintf("%.3f", r.Result.MaxMotionalEnergy),
+			fmt.Sprintf("%.6f", timeS),
+			fmt.Sprintf("%.6e", fid),
+			fmt.Sprintf("%.4f", logFid),
+			fmt.Sprintf("%.3f", maxE),
 		})
 	}
 	return metrics.WriteCSV(w, header, rows)

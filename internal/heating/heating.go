@@ -46,10 +46,12 @@ func IonSwapHop(e, k1 float64) float64 {
 }
 
 // Tracker records the maximum chain energy ever observed per trap, the
-// device-wide maximum, and cumulative heating-event counts — the data
-// behind Figure 6f and Figure 7g.
+// maximum energy of any ion in transit (an in-flight ion is a one-ion
+// chain), the device-wide maximum, and cumulative heating-event counts —
+// the data behind Figure 6f and Figure 7g.
 type Tracker struct {
 	maxPerTrap []float64
+	maxTransit float64
 	splits     int
 	merges     int
 	moves      int
@@ -69,6 +71,19 @@ func (t *Tracker) Observe(trap int, energy float64) {
 	}
 }
 
+// ObserveTransit records the current energy of an ion in transit. Transit
+// energies count toward the device-wide maximum: the hottest object on
+// the device can be a single shuttled ion mid-route, which no per-trap
+// observation ever sees.
+func (t *Tracker) ObserveTransit(energy float64) {
+	if energy > t.maxTransit {
+		t.maxTransit = energy
+	}
+}
+
+// MaxTransitEnergy returns the largest in-transit ion energy observed.
+func (t *Tracker) MaxTransitEnergy() float64 { return t.maxTransit }
+
 // CountSplit, CountMerge, CountMove, CountJunction and CountIonSwap
 // increment the respective event counters.
 func (t *Tracker) CountSplit()    { t.splits++ }
@@ -78,9 +93,10 @@ func (t *Tracker) CountJunction() { t.junctions++ }
 func (t *Tracker) CountIonSwap()  { t.ionSwaps++ }
 
 // MaxEnergy returns the largest chain energy observed anywhere on the
-// device (Figure 6f's "Max Motional Energy").
+// device, including single-ion chains in transit (Figure 6f's "Max
+// Motional Energy").
 func (t *Tracker) MaxEnergy() float64 {
-	max := 0.0
+	max := t.maxTransit
 	for _, e := range t.maxPerTrap {
 		if e > max {
 			max = e

@@ -148,3 +148,19 @@ func TestTrackerEmptyDevice(t *testing.T) {
 		t.Error("empty tracker max should be 0")
 	}
 }
+
+func TestTrackerObservesTransitEnergy(t *testing.T) {
+	tr := NewTracker(2)
+	tr.Observe(0, 1.5)
+	tr.ObserveTransit(4.25)
+	tr.ObserveTransit(2.0) // lower observation must not regress the max
+	if got := tr.MaxTransitEnergy(); got != 4.25 {
+		t.Errorf("MaxTransitEnergy = %g, want 4.25", got)
+	}
+	if got := tr.MaxEnergy(); got != 4.25 {
+		t.Errorf("MaxEnergy = %g, want the in-transit maximum 4.25", got)
+	}
+	if per := tr.MaxEnergyPerTrap(); per[0] != 1.5 || per[1] != 0 {
+		t.Errorf("per-trap maxima = %v, want [1.5 0] (transit is not a trap)", per)
+	}
+}

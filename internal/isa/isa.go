@@ -192,7 +192,8 @@ func (p *Program) CommOps() int {
 // ranges, layout consistency (each qubit placed exactly once) and
 // kind-specific operand/resource fields.
 func (p *Program) Validate() error {
-	placed := make(map[int]bool)
+	placed := make([]bool, p.NumQubits)
+	nPlaced := 0
 	for trap, chain := range p.InitialLayout {
 		for _, q := range chain {
 			if q < 0 || q >= p.NumQubits {
@@ -202,10 +203,11 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("isa: qubit %d placed twice in layout", q)
 			}
 			placed[q] = true
+			nPlaced++
 		}
 	}
-	if len(placed) != p.NumQubits {
-		return fmt.Errorf("isa: layout places %d of %d qubits", len(placed), p.NumQubits)
+	if nPlaced != p.NumQubits {
+		return fmt.Errorf("isa: layout places %d of %d qubits", nPlaced, p.NumQubits)
 	}
 	for i, op := range p.Ops {
 		if op.ID != i {

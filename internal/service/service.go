@@ -18,6 +18,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -287,22 +288,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	var writeMu sync.Mutex
+
+	// A dropped connection surfaces as an encode error. The first write
+	// failure cancels the feeder and suppresses every later emit, so at
+	// most `workers` in-flight points are still evaluated before the
+	// request winds down — not the whole remaining sweep.
+	start := time.Now()
+	ctx, cancelFeed := context.WithCancel(r.Context())
+	defer cancelFeed()
+	var (
+		writeMu     sync.Mutex
+		writeNoMore bool
+	)
 	enc := json.NewEncoder(w)
 	emit := func(v any) {
 		writeMu.Lock()
 		defer writeMu.Unlock()
-		enc.Encode(v)
+		if writeNoMore {
+			return
+		}
+		if err := enc.Encode(v); err != nil {
+			writeNoMore = true
+			cancelFeed()
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
 
-	// Bounded worker pool streaming each outcome the moment it completes;
-	// a dropped connection stops the feeder, so at most `workers` points
-	// are still evaluated after a cancel.
-	start := time.Now()
-	ctx := r.Context()
 	next := make(chan int)
 	go func() {
 		defer close(next)

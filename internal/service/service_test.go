@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -328,5 +330,67 @@ func TestParamsOverrideKeysCacheSeparately(t *testing.T) {
 	}
 	if st := srv.CacheStats(); st.Misses != 2 {
 		t.Errorf("unique computes = %d, want 2", st.Misses)
+	}
+}
+
+// droppingWriter simulates a client that disconnects mid-stream: every
+// write after the first fails, as the HTTP ResponseWriter of a closed
+// connection does.
+type droppingWriter struct {
+	header http.Header
+	writes int
+}
+
+func (w *droppingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+
+func (w *droppingWriter) WriteHeader(int) {}
+
+func (w *droppingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, errors.New("write on closed connection")
+	}
+	return len(p), nil
+}
+
+func TestSweepStopsEvaluatingAfterClientDrop(t *testing.T) {
+	srv, err := New(Config{MaxSweepPoints: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 unique points; the client drops after the first streamed line.
+	const total = 60
+	const workers = 2
+	var sb strings.Builder
+	sb.WriteString(`{"workers":2,"points":[`)
+	for i := 0; i < total; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"app":"BV","topology":"L%d","capacity":%d,"gate":"FM","reorder":"GS"}`,
+			2+i%6, 14+i/6)
+	}
+	sb.WriteString(`]}`)
+
+	req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(sb.String()))
+	w := &droppingWriter{}
+	srv.handleSweep(w, req) // returns only once all workers wound down
+
+	// The feeder must stop at the first failed write: only points already
+	// in flight or queued may still complete, never the whole sweep.
+	computed := int(srv.CacheStats().Misses)
+	if computed >= total/2 {
+		t.Fatalf("computed %d of %d points after client drop, want only the in-flight tail", computed, total)
+	}
+	if computed < 1 {
+		t.Fatalf("computed %d points, want at least the first", computed)
+	}
+	if w.writes < 2 {
+		t.Fatalf("writer saw %d writes, want at least the failing second", w.writes)
 	}
 }

@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/isa"
 )
@@ -131,27 +130,16 @@ func (e *engine) result() *Result {
 
 // attributeTime sweeps op intervals, attributing each instant to compute
 // when any compute op is live, else to communication when any comm op is
-// live, else to idle.
+// live, else to idle. The engine records op start and completion order
+// during the run, and the event-loop clock never runs backwards, so both
+// sequences are already time-sorted: the sweep is a linear merge of the
+// two, with no sorting or boundary materialization.
 func (e *engine) attributeTime(makespan float64) (compute, comm, idle float64) {
-	type boundary struct {
-		t       float64
-		compute bool
-		delta   int
-	}
-	var bs []boundary
-	for i := range e.prog.Ops {
-		if e.startTime[i] < 0 || e.endTime[i] <= e.startTime[i] {
-			continue
-		}
-		isCompute := e.prog.Ops[i].Kind.Category() == isa.CatCompute
-		bs = append(bs, boundary{e.startTime[i], isCompute, +1}, boundary{e.endTime[i], isCompute, -1})
-	}
-	sort.Slice(bs, func(i, j int) bool { return bs[i].t < bs[j].t })
 	var activeCompute, activeComm int
 	prev := 0.0
-	for _, b := range bs {
-		if b.t > prev {
-			dt := b.t - prev
+	advance := func(t float64) {
+		if t > prev {
+			dt := t - prev
 			switch {
 			case activeCompute > 0:
 				compute += dt
@@ -160,12 +148,36 @@ func (e *engine) attributeTime(makespan float64) (compute, comm, idle float64) {
 			default:
 				idle += dt
 			}
-			prev = b.t
+			prev = t
 		}
-		if b.compute {
-			activeCompute += b.delta
+	}
+	si, ei := 0, 0
+	for si < len(e.startOrder) || ei < len(e.endOrder) {
+		takeStart := ei >= len(e.endOrder)
+		if !takeStart && si < len(e.startOrder) {
+			takeStart = e.startTime[e.startOrder[si]] <= e.endTime[e.endOrder[ei]]
+		}
+		var op int
+		var delta int
+		var t float64
+		if takeStart {
+			op = int(e.startOrder[si])
+			si++
+			t, delta = e.startTime[op], +1
 		} else {
-			activeComm += b.delta
+			op = int(e.endOrder[ei])
+			ei++
+			t, delta = e.endTime[op], -1
+		}
+		// Zero-duration and never-started ops carry no attributable time.
+		if e.startTime[op] < 0 || e.endTime[op] <= e.startTime[op] {
+			continue
+		}
+		advance(t)
+		if e.prog.Ops[op].Kind.Category() == isa.CatCompute {
+			activeCompute += delta
+		} else {
+			activeComm += delta
 		}
 	}
 	if makespan > prev {

@@ -9,10 +9,16 @@
 // constraints described in §V.B. Contended resources are granted to the
 // lowest op ID first — the compiler's issue order — which realizes the
 // paper's "prioritize earlier gates" congestion policy.
+//
+// The engine is built for sweep scale: chains are fixed-size ring buffers
+// with an incremental qubit→(trap, slot) index, so membership checks,
+// gate distances and end insertions/removals are O(1) instead of scanning
+// chains; the event queue and per-resource wait queues are typed binary
+// heaps over preallocated storage; and all per-run state is sized off the
+// program up front, so the event loop allocates nothing in steady state.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -44,10 +50,15 @@ func Run(p *isa.Program, d *device.Device, params models.Params) (*Result, error
 	return e.result(), nil
 }
 
-// chain is the live state of one trap's ion chain.
+// chain is the live state of one trap's ion chain: a fixed-capacity ring
+// buffer of qubit IDs (position 0 = left end) plus the chain's motional
+// energy. End insertions and removals are O(1); positions of resident
+// qubits are recovered in O(1) from the engine's qubit→slot index.
 type chain struct {
-	qubits []int
-	energy float64 // motional energy in quanta
+	buf    []int // ring storage; len(buf) never changes after newEngine
+	head   int   // slot of position 0
+	n      int   // live chain length
+	energy float64
 }
 
 // nbar returns the motional mode occupancy used by the Eq. 1 fidelity
@@ -56,13 +67,22 @@ type chain struct {
 // quanta").
 func (c *chain) nbar() float64 { return c.energy }
 
-func (c *chain) indexOf(q int) int {
-	for i, x := range c.qubits {
-		if x == q {
-			return i
-		}
+// slotAt returns the ring slot of chain position i.
+func (c *chain) slotAt(i int) int {
+	s := c.head + i
+	if s >= len(c.buf) {
+		s -= len(c.buf)
 	}
-	return -1
+	return s
+}
+
+// posOf returns the chain position of ring slot s.
+func (c *chain) posOf(s int) int {
+	p := s - c.head
+	if p < 0 {
+		p += len(c.buf)
+	}
+	return p
 }
 
 // engine holds all simulation state for one Run call.
@@ -71,20 +91,33 @@ type engine struct {
 	dev    *device.Device
 	params models.Params
 
-	chains    []*chain
-	transitE  map[int]float64 // energy of ions in flight, by qubit
-	tracker   *heating.Tracker
-	resources []*resource // traps, then segments, then junctions
+	chains []chain
+	// qTrap maps qubit → resident trap, or -1 while the ion is in transit.
+	// qSlot maps qubit → its ring slot within its trap's chain (valid only
+	// while resident). transitE is the in-flight ion energy (valid only
+	// while in transit). Together they replace per-op chain scans.
+	qTrap    []int
+	qSlot    []int
+	transitE []float64
+	tracker  *heating.Tracker
 
-	depsLeft []int
-	children [][]int
+	resources []resource // traps, then segments, then junctions
+
+	depsLeft  []int32
+	childOff  []int32 // op -> [childOff[i], childOff[i+1]) into childList
+	childList []int32
 
 	now       float64
-	events    eventHeap
+	events    eventQueue
 	done      int
 	startTime []float64
 	endTime   []float64
 	readyTime []float64 // when deps completed (resource-queue entry time)
+	// startOrder and endOrder record op IDs in the order they started and
+	// completed. The event loop's clock never runs backwards, so both are
+	// sorted by time — attributeTime merges them instead of sorting.
+	startOrder []int32
+	endOrder   []int32
 
 	logFidelity   float64
 	msGates       int
@@ -97,34 +130,62 @@ type engine struct {
 }
 
 func newEngine(p *isa.Program, d *device.Device, params models.Params) *engine {
+	nOps := len(p.Ops)
 	e := &engine{
-		prog:      p,
-		dev:       d,
-		params:    params,
-		transitE:  make(map[int]float64),
-		tracker:   heating.NewTracker(d.NumTraps()),
-		depsLeft:  make([]int, len(p.Ops)),
-		children:  make([][]int, len(p.Ops)),
-		startTime: make([]float64, len(p.Ops)),
-		endTime:   make([]float64, len(p.Ops)),
-		readyTime: make([]float64, len(p.Ops)),
+		prog:       p,
+		dev:        d,
+		params:     params,
+		qTrap:      make([]int, p.NumQubits),
+		qSlot:      make([]int, p.NumQubits),
+		transitE:   make([]float64, p.NumQubits),
+		tracker:    heating.NewTracker(d.NumTraps()),
+		depsLeft:   make([]int32, nOps),
+		childOff:   make([]int32, nOps+1),
+		startTime:  make([]float64, nOps),
+		endTime:    make([]float64, nOps),
+		readyTime:  make([]float64, nOps),
+		startOrder: make([]int32, 0, nOps),
+		endOrder:   make([]int32, 0, nOps),
+		events:     make(eventQueue, 0, nOps),
 	}
-	e.chains = make([]*chain, d.NumTraps())
+	e.chains = make([]chain, d.NumTraps())
 	for t := range e.chains {
-		e.chains[t] = &chain{qubits: append([]int(nil), p.InitialLayout[t]...)}
+		size := d.Capacity
+		if l := len(p.InitialLayout[t]); l > size {
+			size = l // defensive: hand-built programs may overfill a trap
+		}
+		c := &e.chains[t]
+		c.buf = make([]int, size)
+		for i, q := range p.InitialLayout[t] {
+			c.buf[i] = q
+			e.qTrap[q] = t
+			e.qSlot[q] = i
+		}
+		c.n = len(p.InitialLayout[t])
 	}
-	nRes := d.NumTraps() + len(d.Segments) + len(d.Junctions)
-	e.resources = make([]*resource, nRes)
-	for i := range e.resources {
-		e.resources[i] = &resource{}
-	}
-	for i, op := range p.Ops {
-		e.depsLeft[i] = len(op.Deps)
+	e.resources = make([]resource, d.NumTraps()+len(d.Segments)+len(d.Junctions))
+	// Flatten the dependency graph into a counted adjacency list so waking
+	// dependents allocates nothing.
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		e.depsLeft[i] = int32(len(op.Deps))
 		for _, dep := range op.Deps {
-			e.children[dep] = append(e.children[dep], i)
+			e.childOff[dep+1]++
 		}
 		e.startTime[i] = -1
 		e.endTime[i] = -1
+	}
+	for i := 0; i < nOps; i++ {
+		e.childOff[i+1] += e.childOff[i]
+	}
+	e.childList = make([]int32, e.childOff[nOps])
+	fill := make([]int32, nOps)
+	copy(fill, e.childOff[:nOps])
+	for i := range p.Ops {
+		for _, dep := range p.Ops[i].Deps {
+			e.childList[fill[dep]] = int32(i)
+			fill[dep]++
+		}
 	}
 	return e
 }
@@ -148,8 +209,8 @@ func (e *engine) run() error {
 			e.requestResource(i)
 		}
 	}
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
+	for len(e.events) > 0 {
+		ev := e.events.pop()
 		e.now = ev.time
 		if err := e.complete(ev.op); err != nil {
 			return err
@@ -174,7 +235,7 @@ func (e *engine) firstBlocked() string {
 // requestResource queues op i on its resource, starting it if free.
 func (e *engine) requestResource(i int) {
 	e.readyTime[i] = e.now
-	res := e.resources[e.resourceIndex(&e.prog.Ops[i])]
+	res := &e.resources[e.resourceIndex(&e.prog.Ops[i])]
 	if res.busy {
 		res.push(i)
 		return
@@ -185,12 +246,13 @@ func (e *engine) requestResource(i int) {
 // start computes the op duration from live state and schedules completion.
 func (e *engine) start(i int) {
 	op := &e.prog.Ops[i]
-	res := e.resources[e.resourceIndex(op)]
+	res := &e.resources[e.resourceIndex(op)]
 	res.busy = true
 	res.holder = i
 	e.startTime[i] = e.now
+	e.startOrder = append(e.startOrder, int32(i))
 	dur := e.duration(op)
-	heap.Push(&e.events, event{time: e.now + dur, op: i})
+	e.events.push(event{time: e.now + dur, op: i})
 }
 
 // duration evaluates the §VII.A / Table I time models against live state.
@@ -202,13 +264,13 @@ func (e *engine) duration(op *isa.Op) float64 {
 	case isa.OpMeasure:
 		return p.MeasureTime
 	case isa.OpGate2:
-		c := e.chains[op.Trap]
+		c := &e.chains[op.Trap]
 		d := e.gateDistance(c, op)
-		return p.TwoQubitTime(d, len(c.qubits))
+		return p.TwoQubitTime(d, c.n)
 	case isa.OpSwapGS:
-		c := e.chains[op.Trap]
+		c := &e.chains[op.Trap]
 		d := e.gateDistance(c, op)
-		return float64(p.SwapMSGates)*p.TwoQubitTime(d, len(c.qubits)) +
+		return float64(p.SwapMSGates)*p.TwoQubitTime(d, c.n) +
 			float64(p.SwapOneQGates)*p.OneQubitTime
 	case isa.OpIonSwap:
 		return p.IonSwapTime()
@@ -224,10 +286,18 @@ func (e *engine) duration(op *isa.Op) float64 {
 	return p.OneQubitTime
 }
 
+// positionIn returns q's chain position in trap t, or -1 if not resident.
+func (e *engine) positionIn(q, t int) int {
+	if e.qTrap[q] != t {
+		return -1
+	}
+	return e.chains[t].posOf(e.qSlot[q])
+}
+
 // gateDistance returns the in-chain position separation of a 2-qubit op.
 func (e *engine) gateDistance(c *chain, op *isa.Op) int {
-	pa := c.indexOf(op.Qubits[0])
-	pb := c.indexOf(op.Qubits[1])
+	pa := e.positionIn(op.Qubits[0], op.Trap)
+	pb := e.positionIn(op.Qubits[1], op.Trap)
 	if pa < 0 || pb < 0 {
 		// Recorded as an invariant violation by the completion handler.
 		return 1
@@ -243,25 +313,60 @@ func (e *engine) gateDistance(c *chain, op *isa.Op) int {
 func (e *engine) complete(i int) error {
 	op := &e.prog.Ops[i]
 	e.endTime[i] = e.now
+	e.endOrder = append(e.endOrder, int32(i))
 	if err := e.apply(op); err != nil {
 		return fmt.Errorf("sim: op %s at t=%.1fµs: %w", op, e.now, err)
 	}
 	e.done++
 	e.categoryBusy[op.Kind.Category()] += e.endTime[i] - e.startTime[i]
 
-	res := e.resources[e.resourceIndex(op)]
+	res := &e.resources[e.resourceIndex(op)]
 	res.busy = false
 	res.holder = -1
 	if next, ok := res.pop(); ok {
 		e.start(next)
 	}
-	for _, child := range e.children[i] {
+	for _, child := range e.childList[e.childOff[i]:e.childOff[i+1]] {
 		e.depsLeft[child]--
 		if e.depsLeft[child] == 0 {
-			e.requestResource(child)
+			e.requestResource(int(child))
 		}
 	}
 	return nil
+}
+
+// swapInChain exchanges the chain slots of two resident qubits.
+func (e *engine) swapInChain(c *chain, a, b int) {
+	sa, sb := e.qSlot[a], e.qSlot[b]
+	c.buf[sa], c.buf[sb] = b, a
+	e.qSlot[a], e.qSlot[b] = sb, sa
+}
+
+// detach removes qubit q from an end of its chain, putting it in transit.
+func (e *engine) detach(c *chain, q int, left bool) {
+	if left {
+		c.head = c.slotAt(1)
+	}
+	c.n--
+	e.qTrap[q] = -1
+}
+
+// attach inserts in-transit qubit q at an end of trap t's chain.
+func (e *engine) attach(c *chain, q, t int, left bool) {
+	var slot int
+	if left {
+		slot = c.head - 1
+		if slot < 0 {
+			slot += len(c.buf)
+		}
+		c.head = slot
+	} else {
+		slot = c.slotAt(c.n)
+	}
+	c.buf[slot] = q
+	c.n++
+	e.qTrap[q] = t
+	e.qSlot[q] = slot
 }
 
 // apply mutates machine state and fidelity accounting for a finished op.
@@ -269,8 +374,8 @@ func (e *engine) apply(op *isa.Op) error {
 	p := e.params
 	switch op.Kind {
 	case isa.OpGate1:
-		c := e.chains[op.Trap]
-		if c.indexOf(op.Qubits[0]) < 0 {
+		c := &e.chains[op.Trap]
+		if e.qTrap[op.Qubits[0]] != op.Trap {
 			return fmt.Errorf("qubit not in trap")
 		}
 		terms := p.OneQubitError(c.nbar())
@@ -279,42 +384,42 @@ func (e *engine) apply(op *isa.Op) error {
 		e.logFidelity += math.Log(terms.Fidelity())
 
 	case isa.OpMeasure:
-		c := e.chains[op.Trap]
-		if c.indexOf(op.Qubits[0]) < 0 {
+		if e.qTrap[op.Qubits[0]] != op.Trap {
 			return fmt.Errorf("qubit not in trap")
 		}
 		e.measures++
 		e.logFidelity += math.Log(p.MeasureFidelity)
 
 	case isa.OpGate2:
-		c := e.chains[op.Trap]
-		if c.indexOf(op.Qubits[0]) < 0 || c.indexOf(op.Qubits[1]) < 0 {
+		c := &e.chains[op.Trap]
+		if e.qTrap[op.Qubits[0]] != op.Trap || e.qTrap[op.Qubits[1]] != op.Trap {
 			return fmt.Errorf("gate operands not co-located")
 		}
 		d := e.gateDistance(c, op)
-		tau := p.TwoQubitTime(d, len(c.qubits))
-		e.recordMS(p.TwoQubitError(tau, len(c.qubits), c.nbar()), 1)
+		tau := p.TwoQubitTime(d, c.n)
+		e.recordMS(p.TwoQubitError(tau, c.n, c.nbar()), 1)
 
 	case isa.OpSwapGS:
-		c := e.chains[op.Trap]
-		pa, pb := c.indexOf(op.Qubits[0]), c.indexOf(op.Qubits[1])
-		if pa < 0 || pb < 0 {
+		c := &e.chains[op.Trap]
+		a, b := op.Qubits[0], op.Qubits[1]
+		if e.qTrap[a] != op.Trap || e.qTrap[b] != op.Trap {
 			return fmt.Errorf("swap operands not co-located")
 		}
 		d := e.gateDistance(c, op)
-		tau := p.TwoQubitTime(d, len(c.qubits))
-		e.recordMS(p.TwoQubitError(tau, len(c.qubits), c.nbar()), p.SwapMSGates)
+		tau := p.TwoQubitTime(d, c.n)
+		e.recordMS(p.TwoQubitError(tau, c.n, c.nbar()), p.SwapMSGates)
 		one := p.OneQubitError(c.nbar())
 		for k := 0; k < p.SwapOneQGates; k++ {
 			e.oneQGates++
 			e.sumOneQError += one.Error()
 			e.logFidelity += math.Log(one.Fidelity())
 		}
-		c.qubits[pa], c.qubits[pb] = c.qubits[pb], c.qubits[pa]
+		e.swapInChain(c, a, b)
 
 	case isa.OpIonSwap:
-		c := e.chains[op.Trap]
-		pa, pb := c.indexOf(op.Qubits[0]), c.indexOf(op.Qubits[1])
+		c := &e.chains[op.Trap]
+		a, b := op.Qubits[0], op.Qubits[1]
+		pa, pb := e.positionIn(a, op.Trap), e.positionIn(b, op.Trap)
 		if pa < 0 || pb < 0 {
 			return fmt.Errorf("ion-swap operands not co-located")
 		}
@@ -322,76 +427,66 @@ func (e *engine) apply(op *isa.Op) error {
 			return fmt.Errorf("ion-swap operands not adjacent (%d,%d)", pa, pb)
 		}
 		c.energy = heating.IonSwapHop(c.energy, p.K1)
-		c.qubits[pa], c.qubits[pb] = c.qubits[pb], c.qubits[pa]
+		e.swapInChain(c, a, b)
 		e.tracker.CountIonSwap()
 		e.tracker.Observe(op.Trap, c.energy)
 
 	case isa.OpSplit:
-		c := e.chains[op.Trap]
+		c := &e.chains[op.Trap]
 		q := op.Qubits[0]
-		n := len(c.qubits)
+		n := c.n
 		if n == 0 {
 			return fmt.Errorf("split from empty trap")
 		}
-		atLeft := c.qubits[0] == q
-		atRight := c.qubits[n-1] == q
+		atLeft := c.buf[c.head] == q && e.qTrap[q] == op.Trap
+		atRight := c.buf[c.slotAt(n-1)] == q && e.qTrap[q] == op.Trap
 		if op.End == device.Left && !atLeft || op.End == device.Right && !atRight {
-			return fmt.Errorf("split qubit q%d not at %s end of %v", q, op.End, c.qubits)
+			return fmt.Errorf("split qubit q%d not at %s end of trap %d", q, op.End, op.Trap)
 		}
 		if n == 1 {
 			// Departing ion empties the trap; it carries the chain energy
 			// plus the split jolt.
 			e.transitE[q] = c.energy + p.K1
 			c.energy = 0
-			c.qubits = c.qubits[:0]
 		} else {
 			ionE, restE := heating.Split(c.energy, 1, n-1, p.K1)
 			e.transitE[q] = ionE
 			c.energy = restE
-			if op.End == device.Left {
-				c.qubits = append([]int(nil), c.qubits[1:]...)
-			} else {
-				c.qubits = c.qubits[:n-1]
-			}
 		}
+		e.detach(c, q, op.End == device.Left)
 		e.tracker.CountSplit()
 		e.tracker.Observe(op.Trap, c.energy)
+		e.tracker.ObserveTransit(e.transitE[q])
 
 	case isa.OpMove:
 		q := op.Qubits[0]
-		eIon, ok := e.transitE[q]
-		if !ok {
+		if e.qTrap[q] != -1 {
 			return fmt.Errorf("move of qubit q%d that is not in transit", q)
 		}
-		e.transitE[q] = heating.Move(eIon, e.dev.Segments[op.Segment].Length, p.K2)
+		e.transitE[q] = heating.Move(e.transitE[q], e.dev.Segments[op.Segment].Length, p.K2)
 		e.tracker.CountMove()
+		e.tracker.ObserveTransit(e.transitE[q])
 
 	case isa.OpJunctionCross:
 		q := op.Qubits[0]
-		eIon, ok := e.transitE[q]
-		if !ok {
+		if e.qTrap[q] != -1 {
 			return fmt.Errorf("junction crossing of qubit q%d not in transit", q)
 		}
-		e.transitE[q] = eIon + p.JunctionHeating
+		e.transitE[q] += p.JunctionHeating
 		e.tracker.CountJunction()
+		e.tracker.ObserveTransit(e.transitE[q])
 
 	case isa.OpMerge:
-		c := e.chains[op.Trap]
+		c := &e.chains[op.Trap]
 		q := op.Qubits[0]
-		eIon, ok := e.transitE[q]
-		if !ok {
+		if e.qTrap[q] != -1 {
 			return fmt.Errorf("merge of qubit q%d that is not in transit", q)
 		}
-		if len(c.qubits) >= e.dev.Capacity {
+		if c.n >= e.dev.Capacity {
 			return fmt.Errorf("merge overflows trap %d (cap %d)", op.Trap, e.dev.Capacity)
 		}
-		delete(e.transitE, q)
-		c.energy = heating.Merge(c.energy, eIon, p.K1)
-		if op.End == device.Left {
-			c.qubits = append([]int{q}, c.qubits...)
-		} else {
-			c.qubits = append(c.qubits, q)
-		}
+		c.energy = heating.Merge(c.energy, e.transitE[q], p.K1)
+		e.attach(c, q, op.Trap, op.End == device.Left)
 		e.tracker.CountMerge()
 		e.tracker.Observe(op.Trap, c.energy)
 
@@ -417,23 +512,54 @@ type event struct {
 	op   int
 }
 
-type eventHeap []event
+// eventQueue is a binary min-heap of events ordered by (time, op ID). It
+// is preallocated to the program's op count, so pushes never reallocate.
+type eventQueue []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventQueue) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].op < h[j].op
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *eventQueue) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	for c := len(q) - 1; c > 0; {
+		parent := (c - 1) / 2
+		if q.less(parent, c) {
+			break
+		}
+		q[parent], q[c] = q[c], q[parent]
+		c = parent
+	}
+}
+
+func (h *eventQueue) pop() event {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q) && q.less(l, small) {
+			small = l
+		}
+		if r < len(q) && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
 }
 
 // resource is one exclusively-held device resource with a priority wait

@@ -418,3 +418,84 @@ func TestEndToEndSmallSuite(t *testing.T) {
 		}
 	}
 }
+
+// TestTransitEnergyObserved pins the fix for in-transit heating going
+// unobserved: an ion shuttled across a multi-junction route is a one-ion
+// chain whose energy must count toward the device-wide maximum even if it
+// never merges anywhere. The program is hand-built (the compiler always
+// ends routes with a merge, which would launder the transit energy into a
+// per-trap observation).
+func TestTransitEnergyObserved(t *testing.T) {
+	d, err := device.NewGrid(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := device.NewRouter(d, device.DefaultRouteCosts())
+	var route *device.Route
+	src := -1
+	for a := 0; a < d.NumTraps() && src < 0; a++ {
+		for b := 0; b < d.NumTraps(); b++ {
+			if a == b {
+				continue
+			}
+			r, err := router.Route(a, b)
+			if err != nil {
+				continue
+			}
+			if len(r.Junctions()) >= 2 && len(r.PassThroughs()) == 0 {
+				src, route = a, r
+				break
+			}
+		}
+	}
+	if src < 0 {
+		t.Fatal("grid has no junction-only multi-junction route")
+	}
+
+	layout := make([][]int, d.NumTraps())
+	layout[src] = []int{0}
+	ops := []isa.Op{{
+		Kind: isa.OpSplit, Qubits: []int{0}, Trap: src, End: route.SrcEnd,
+		Segment: -1, Junction: -1, GateIndex: -1,
+	}}
+	for _, hop := range route.Hops {
+		prev := len(ops) - 1
+		ops = append(ops, isa.Op{
+			ID: len(ops), Kind: isa.OpMove, Qubits: []int{0}, Trap: -1,
+			Segment: hop.Segment, Junction: -1, GateIndex: -1, Deps: []int{prev},
+		})
+		if hop.Node.Kind == device.NodeJunction {
+			ops = append(ops, isa.Op{
+				ID: len(ops), Kind: isa.OpJunctionCross, Qubits: []int{0}, Trap: -1,
+				Segment: -1, Junction: hop.Node.Index, GateIndex: -1, Deps: []int{len(ops) - 1},
+			})
+		}
+	}
+	// Deliberately no merge: the ion ends the program in transit.
+	prog := &isa.Program{
+		Name: "transit", NumQubits: 1, DeviceName: d.Name,
+		InitialLayout: layout, Ops: ops,
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("hand-built program invalid: %v", err)
+	}
+	params := models.Default()
+	r, err := Run(prog, d, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splitting the 1-ion chain carries chain energy 0 plus the k1 jolt,
+	// then every segment unit adds k2 and every junction crossing adds
+	// its heating constant.
+	want := params.K1 +
+		float64(route.SegmentUnits(d))*params.K2 +
+		float64(len(route.Junctions()))*params.JunctionHeating
+	if math.Abs(r.MaxMotionalEnergy-want) > 1e-12 {
+		t.Errorf("MaxMotionalEnergy = %g, want %g (in-transit maximum)", r.MaxMotionalEnergy, want)
+	}
+	for trap, e := range r.MaxMotionalPerTrap {
+		if e != 0 {
+			t.Errorf("trap %d max energy = %g, want 0 (all heat is in transit)", trap, e)
+		}
+	}
+}
