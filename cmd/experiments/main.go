@@ -12,9 +12,11 @@
 // Usage:
 //
 //	experiments [-table1] [-table2] [-fig6] [-fig7] [-fig8] [-scaling] [-csv DIR]
+//	experiments -grammar   # print the paper grid as a sweep-grammar request
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/models"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func realMain() int {
 		fig7    = flag.Bool("fig7", false, "run the Figure 7 topology study")
 		fig8    = flag.Bool("fig8", false, "run the Figure 8 microarchitecture study")
 		scaling = flag.Bool("scaling", false, "run the beyond-paper device scaling study")
+		grammar = flag.Bool("grammar", false, "print the full paper grid as a sweep-grammar request body for POST /v1/sweep and exit")
 		csvDir  = flag.String("csv", "", "directory to write raw figure data as CSV")
 	)
 	flag.Parse()
@@ -48,6 +52,20 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
 		return 2
+	}
+	if *grammar {
+		// The grammar expands to exactly the golden determinism grid (see
+		// TestPaperSpaceMatchesGoldenGrid), so piping this body to a qccdd
+		// instance reproduces the whole evaluation server-side.
+		body := struct {
+			Space sweep.Space `json:"space"`
+		}{Space: experiments.PaperSpace()}
+		out, err := json.MarshalIndent(body, "", "  ")
+		if err != nil {
+			log.Fatalf("grammar: %v", err)
+		}
+		fmt.Println(string(out))
+		return 0
 	}
 	all := !*table1 && !*table2 && !*fig6 && !*fig7 && !*fig8 && !*scaling
 	params := models.Default()

@@ -5,9 +5,16 @@
 // repeated design points — within a sweep, across sweeps, or across
 // clients — are computed once.
 //
+// Large design-space searches are expressed as a sweep grammar instead of
+// a materialized point list: the server validates the grammar up front,
+// expands the cross product lazily, and streams rows in a stable order
+// with per-row resume cursors, so a dropped client can continue without
+// recomputation.
+//
 // Usage:
 //
-//	qccdd [-addr :8080] [-cache 4096] [-workers N] [-max-points 10000] [-params FILE]
+//	qccdd [-addr :8080] [-cache 4096] [-workers N] [-max-points 10000]
+//	      [-max-space 10000000] [-params FILE]
 //
 // Example session:
 //
@@ -16,8 +23,8 @@
 //	curl -s -X POST localhost:8080/v1/run \
 //	  -d '{"point":{"app":"QFT","topology":"L6","capacity":22,"gate":"FM","reorder":"GS"}}'
 //	curl -sN -X POST localhost:8080/v1/sweep \
-//	  -d '{"points":[{"app":"BV","topology":"L6","capacity":14},
-//	                 {"app":"BV","topology":"L6","capacity":18}]}'
+//	  -d '{"space":{"apps":["BV","QFT"],"topologies":["L6","G2x3"],"capacities":[14,18,22]}}'
+//	curl -s localhost:8080/v1/sweeps/<id>   # progress of an in-flight sweep
 //
 // The daemon drains in-flight requests on SIGINT/SIGTERM before exiting.
 package main
@@ -44,7 +51,8 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache", 4096, "outcome cache entries (negative: unbounded)")
 		workers   = flag.Int("workers", 0, "max per-request sweep workers (0: GOMAXPROCS)")
-		maxPoints = flag.Int("max-points", 10000, "max design points per sweep request")
+		maxPoints = flag.Int("max-points", 10000, "max materialized design points per sweep request")
+		maxSpace  = flag.Int64("max-space", 10_000_000, "max lazy expansion size of a grammar sweep")
 		paramsIn  = flag.String("params", "", "JSON file overriding the physical model parameters")
 	)
 	flag.Parse()
@@ -67,6 +75,7 @@ func main() {
 		CacheEntries:   *cacheSize,
 		MaxWorkers:     *workers,
 		MaxSweepPoints: *maxPoints,
+		MaxSpacePoints: *maxSpace,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -32,7 +33,7 @@ const goldenPath = "testdata/golden_results.json"
 func goldenGrid() []core.Point {
 	var pts []core.Point
 	for _, app := range experiments.PaperApps {
-		for _, topo := range []string{"L6", "G2x3"} {
+		for _, topo := range experiments.PaperTopologies {
 			for _, capacity := range experiments.PaperCapacities {
 				for _, gate := range models.GateImpls() {
 					for _, reorder := range models.ReorderMethods() {
@@ -111,29 +112,66 @@ func TestGoldenDeterminism(t *testing.T) {
 	if len(want) != len(got) {
 		t.Errorf("golden has %d points, grid has %d", len(want), len(got))
 	}
-	mismatches := 0
+	var diverged []string
 	for key, w := range want {
 		g, ok := got[key]
 		if !ok {
 			t.Errorf("%s: in golden but not in grid", key)
+			diverged = append(diverged, fmt.Sprintf("%s: in golden but not in grid", key))
 			continue
 		}
 		if w.Error != g.Error {
-			mismatches++
-			t.Errorf("%s: error %q, golden %q", key, g.Error, w.Error)
+			diverged = append(diverged, fmt.Sprintf("%s:\n got error: %q\nwant error: %q", key, g.Error, w.Error))
+			if len(diverged) <= 5 {
+				t.Errorf("%s: error %q, golden %q", key, g.Error, w.Error)
+			}
 			continue
 		}
 		if !equalJSON(w.Result, g.Result) {
-			mismatches++
-			if mismatches <= 5 {
+			diverged = append(diverged, fmt.Sprintf("%s:\n got: %s\nwant: %s", key, g.Result, w.Result))
+			if len(diverged) <= 5 {
 				t.Errorf("%s: result diverged from golden\n got: %s\nwant: %s",
 					key, g.Result, w.Result)
 			}
 		}
 	}
-	if mismatches > 5 {
-		t.Errorf("... and %d more diverged points", mismatches-5)
+	if len(diverged) > 5 {
+		t.Errorf("... and %d more diverged points", len(diverged)-5)
 	}
+	if t.Failed() {
+		writeGoldenDiff(t, got, diverged)
+	}
+}
+
+// goldenDiffDir is where a failing determinism run dumps its evidence.
+// CI uploads the directory as an artifact, so a diverging point can be
+// diagnosed — and the golden file regenerated deliberately — without
+// recomputing the full grid locally.
+const goldenDiffDir = "golden-diff"
+
+func writeGoldenDiff(t *testing.T, got map[string]goldenLine, diverged []string) {
+	t.Helper()
+	if err := os.MkdirAll(goldenDiffDir, 0o755); err != nil {
+		t.Logf("golden-diff: %v", err)
+		return
+	}
+	raw, err := json.MarshalIndent(got, "", "  ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(goldenDiffDir, "got_results.json"), append(raw, '\n'), 0o644)
+	}
+	if err != nil {
+		t.Logf("golden-diff: %v", err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%d design points diverged from %s\n\n", len(diverged), goldenPath)
+	for _, d := range diverged {
+		buf.WriteString(d)
+		buf.WriteString("\n\n")
+	}
+	if err := os.WriteFile(filepath.Join(goldenDiffDir, "summary.txt"), buf.Bytes(), 0o644); err != nil {
+		t.Logf("golden-diff: %v", err)
+	}
+	t.Logf("wrote %s/ (computed results + divergence summary)", goldenDiffDir)
 }
 
 // equalJSON compares two Result encodings ignoring whitespace (the golden
@@ -150,6 +188,28 @@ func equalJSON(a, b json.RawMessage) bool {
 		return false
 	}
 	return ca.String() == cb.String()
+}
+
+// TestPaperSpaceMatchesGoldenGrid pins the sweep grammar form of the
+// paper evaluation to the golden grid: the lazy expansion of
+// experiments.PaperSpace() must enumerate exactly goldenGrid(), in the
+// same order. With TestGoldenGridCoversFigures this proves the grammar
+// subsumes every figure sweep, and it anchors resume cursors minted
+// against the paper space to the pinned point order.
+func TestPaperSpaceMatchesGoldenGrid(t *testing.T) {
+	grid, err := experiments.PaperSpace().Compile()
+	if err != nil {
+		t.Fatalf("compile paper space: %v", err)
+	}
+	want := goldenGrid()
+	if grid.Size() != int64(len(want)) {
+		t.Fatalf("paper space expands to %d points, golden grid has %d", grid.Size(), len(want))
+	}
+	for i, w := range want {
+		if g := grid.PointAt(int64(i)); g != w {
+			t.Fatalf("expansion index %d: grammar yields %s, golden grid has %s", i, g, w)
+		}
+	}
 }
 
 // TestGoldenGridCoversFigures guards the grid definition itself: every

@@ -103,6 +103,137 @@ func ByName(name string) (*circuit.Circuit, error) {
 // on the roadmap.
 const MaxSizedQubits = 1024
 
+// sizedFamily couples one "<base>@<n>" family's size rule with its
+// builder, so CheckSized (request-time validation, no circuit built) and
+// Sized (construction) can never drift apart.
+type sizedFamily struct {
+	base string
+	// constraint is the human-readable size rule advertised by services.
+	constraint string
+	// check rejects family-specific bad sizes; nil accepts any n the
+	// global [1, MaxSizedQubits] bound admits.
+	check func(n int) error
+	build func(n int) (*circuit.Circuit, error)
+}
+
+func sizedFamilies() []sizedFamily {
+	return []sizedFamily{
+		{base: "QFT", constraint: "any n >= 1", build: QFT},
+		{
+			base: "QAOA", constraint: "n >= 2",
+			check: func(n int) error {
+				if n < 2 {
+					return fmt.Errorf("apps: QAOA@%d: size must be >= 2", n)
+				}
+				return nil
+			},
+			build: func(n int) (*circuit.Circuit, error) { return QAOA(n, 20, 1) },
+		},
+		{base: "BV", constraint: "n data qubits plus one ancilla (n+1 total), any n >= 1", build: BV},
+		{
+			base: "Adder", constraint: "n even, >= 4",
+			check: func(n int) error {
+				if n < 4 || n%2 != 0 {
+					return fmt.Errorf("apps: Adder@%d: size must be even and >= 4", n)
+				}
+				return nil
+			},
+			build: func(n int) (*circuit.Circuit, error) { return Adder((n - 2) / 2) },
+		},
+		{
+			base: "SquareRoot", constraint: "n even, >= 6",
+			check: func(n int) error {
+				if n < 6 || n%2 != 0 {
+					return fmt.Errorf("apps: SquareRoot@%d: size must be even and >= 6", n)
+				}
+				return nil
+			},
+			build: func(n int) (*circuit.Circuit, error) { return SquareRoot(n / 2) },
+		},
+		{
+			base: "Supremacy", constraint: "n a multiple of 8, >= 16",
+			check: func(n int) error {
+				if n < 16 || n%8 != 0 {
+					return fmt.Errorf("apps: Supremacy@%d: size must be a multiple of 8, >= 16", n)
+				}
+				return nil
+			},
+			// The paper's 64-qubit instance runs 560 two-qubit gates; keep
+			// the same per-qubit gate density as the grid widens.
+			build: func(n int) (*circuit.Circuit, error) { return Supremacy(8, n/8, 560*n/64, 1) },
+		},
+	}
+}
+
+// SizedForm documents one sized benchmark family for API introspection.
+type SizedForm struct {
+	// Base is the family name used left of the '@'.
+	Base string
+	// Constraint states the accepted sizes in prose; the global
+	// [1, MaxSizedQubits] bound applies on top.
+	Constraint string
+}
+
+// SizedForms lists every "<base>@<n>" family with its size rule, in
+// Table II order, so services can advertise the sized form instead of
+// leaving it discoverable only by error message.
+func SizedForms() []SizedForm {
+	var forms []SizedForm
+	for _, fam := range sizedFamilies() {
+		forms = append(forms, SizedForm{Base: fam.base, Constraint: fam.constraint})
+	}
+	return forms
+}
+
+// checkSized resolves a family and validates n without building anything.
+func checkSized(base string, n int) (sizedFamily, error) {
+	if n < 1 || n > MaxSizedQubits {
+		return sizedFamily{}, fmt.Errorf("apps: %s@%d: size must be in [1, %d]", base, n, MaxSizedQubits)
+	}
+	for _, fam := range sizedFamilies() {
+		if !equalFold(fam.base, base) {
+			continue
+		}
+		if fam.check != nil {
+			if err := fam.check(n); err != nil {
+				return sizedFamily{}, err
+			}
+		}
+		return fam, nil
+	}
+	return sizedFamily{}, fmt.Errorf("apps: unknown sized benchmark %q (have %v)", base, Names())
+}
+
+// CheckSized validates a sized-benchmark request without building the
+// circuit: the family must exist and n must satisfy both the global
+// [1, MaxSizedQubits] bound and the family's own size rule. It is the
+// request-validation counterpart of Sized, letting services reject bad
+// sizes up front instead of discovering them at evaluation time.
+func CheckSized(base string, n int) error {
+	_, err := checkSized(base, n)
+	return err
+}
+
+// ValidateName reports whether name would be accepted by ByName, without
+// building any circuit: either a suite benchmark name or a well-formed,
+// well-sized "<base>@<n>" instance. Sweep grammars use it to reject bad
+// app axes before any expansion work is spent.
+func ValidateName(name string) error {
+	for _, s := range Suite() {
+		if equalFold(s.Name, name) {
+			return nil
+		}
+	}
+	if at := strings.IndexByte(name, '@'); at > 0 {
+		n, err := strconv.Atoi(name[at+1:])
+		if err != nil {
+			return fmt.Errorf("apps: bad size in benchmark name %q", name)
+		}
+		return CheckSized(name[:at], n)
+	}
+	return fmt.Errorf("apps: unknown benchmark %q (have %v)", name, Names())
+}
+
 // Sized builds an n-qubit instance of a suite benchmark family. The size
 // convention varies per family (for BV the parameter counts data qubits,
 // so the circuit holds one more):
@@ -115,35 +246,11 @@ const MaxSizedQubits = 1024
 //   - Supremacy@n:  an 8×(n/8) grid at the paper's 8.75 gates/qubit
 //     density; n divisible by 8, >= 16
 func Sized(base string, n int) (*circuit.Circuit, error) {
-	if n < 1 || n > MaxSizedQubits {
-		return nil, fmt.Errorf("apps: %s@%d: size must be in [1, %d]", base, n, MaxSizedQubits)
+	fam, err := checkSized(base, n)
+	if err != nil {
+		return nil, err
 	}
-	switch {
-	case equalFold(base, "QFT"):
-		return QFT(n)
-	case equalFold(base, "QAOA"):
-		return QAOA(n, 20, 1)
-	case equalFold(base, "BV"):
-		return BV(n)
-	case equalFold(base, "Adder"):
-		if n < 4 || n%2 != 0 {
-			return nil, fmt.Errorf("apps: Adder@%d: size must be even and >= 4", n)
-		}
-		return Adder((n - 2) / 2)
-	case equalFold(base, "SquareRoot"):
-		if n < 6 || n%2 != 0 {
-			return nil, fmt.Errorf("apps: SquareRoot@%d: size must be even and >= 6", n)
-		}
-		return SquareRoot(n / 2)
-	case equalFold(base, "Supremacy"):
-		if n < 16 || n%8 != 0 {
-			return nil, fmt.Errorf("apps: Supremacy@%d: size must be a multiple of 8, >= 16", n)
-		}
-		// The paper's 64-qubit instance runs 560 two-qubit gates; keep the
-		// same per-qubit gate density as the grid widens.
-		return Supremacy(8, n/8, 560*n/64, 1)
-	}
-	return nil, fmt.Errorf("apps: unknown sized benchmark %q (have %v)", base, Names())
+	return fam.build(n)
 }
 
 // Names lists the suite benchmark names in Table II order.

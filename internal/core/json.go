@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
+	"repro/internal/apps"
 	"repro/internal/models"
 	"repro/internal/sim"
 )
@@ -60,10 +62,19 @@ func (p *Point) UnmarshalJSON(data []byte) error {
 }
 
 // Validate rejects points that are structurally unable to run, before any
-// compile or simulation work is spent on them.
+// compile or simulation work is spent on them. A sized "<app>@<n>" name
+// is checked against its family's size rule here (no circuit is built),
+// so services can turn a bad size into a request error instead of an
+// evaluation failure; a plain unknown app name is still an evaluation
+// outcome, since only the benchmark registry can settle it.
 func (p Point) Validate() error {
 	if p.App == "" {
 		return errors.New("core: point: missing app")
+	}
+	if strings.IndexByte(p.App, '@') > 0 {
+		if err := apps.ValidateName(p.App); err != nil {
+			return err
+		}
 	}
 	if p.Topology == "" {
 		return errors.New("core: point: missing topology")

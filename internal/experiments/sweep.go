@@ -10,10 +10,38 @@ package experiments
 import (
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/sweep"
 )
 
 // PaperCapacities is the trap-capacity sweep of Figures 6-8.
 var PaperCapacities = []int{14, 18, 22, 26, 30, 34}
+
+// PaperTopologies are the two device topologies the evaluation compares.
+var PaperTopologies = []string{"L6", "G2x3"}
+
+// PaperSpace expresses the paper's full 576-point evaluation grid — the
+// union of the Figure 6-8 sweeps extended to the complete app × topology
+// × capacity × gate × reorder cross product — as a sweep grammar. Its
+// lazy expansion enumerates exactly the golden determinism grid, in the
+// same order (pinned by TestPaperSpaceMatchesGoldenGrid), so the whole
+// paper evaluation can be reproduced server-side with one small request
+// instead of a materialized point list.
+func PaperSpace() sweep.Space {
+	var gates, reorders []string
+	for _, g := range models.GateImpls() {
+		gates = append(gates, g.String())
+	}
+	for _, r := range models.ReorderMethods() {
+		reorders = append(reorders, r.String())
+	}
+	return sweep.Space{
+		Apps:       PaperApps,
+		Topologies: PaperTopologies,
+		Capacities: PaperCapacities,
+		Gates:      gates,
+		Reorders:   reorders,
+	}
+}
 
 // Point, Outcome and Runner alias the core toolflow types; the experiment
 // harness is a thin orchestration layer over them.

@@ -5,12 +5,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/run        evaluate a single design point
-//	POST /v1/sweep      evaluate a batch, streaming outcomes as NDJSON
-//	GET  /v1/apps       list the built-in Table II benchmarks
-//	GET  /v1/topologies describe the device spec grammar with examples
-//	GET  /v1/params     return the server's base physical parameters
-//	GET  /healthz       liveness plus cache statistics
+//	POST /v1/run         evaluate a single design point
+//	POST /v1/sweep       evaluate a batch, streaming outcomes as NDJSON;
+//	                     accepts either a materialized "points" list or a
+//	                     "space" sweep grammar expanded lazily server-side,
+//	                     with per-row resume cursors
+//	GET  /v1/sweeps      list tracked grammar sweeps with progress
+//	GET  /v1/sweeps/{id} report one grammar sweep's progress
+//	GET  /v1/apps        list the built-in Table II benchmarks and the
+//	                     sized "<app>@<n>" form
+//	GET  /v1/topologies  describe the device spec grammar with examples
+//	GET  /v1/params      return the server's base physical parameters
+//	GET  /healthz        liveness plus cache statistics
 //
 // Requests may carry a complete "params" object (the format of GET
 // /v1/params) to evaluate under a different calibration; the outcome
@@ -32,6 +38,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/models"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Config bounds the server's resources. Zero fields take defaults.
@@ -45,9 +52,13 @@ type Config struct {
 	// MaxWorkers caps the per-request sweep concurrency (default
 	// GOMAXPROCS).
 	MaxWorkers int
-	// MaxSweepPoints caps the batch size of one sweep request (default
-	// 10000).
+	// MaxSweepPoints caps the batch size of one materialized-points sweep
+	// request (default 10000).
 	MaxSweepPoints int
+	// MaxSpacePoints caps the expansion size of one grammar sweep
+	// (default 10,000,000). Grammar sweeps stream lazily with O(workers)
+	// residency, so this bound is about total compute, not memory.
+	MaxSpacePoints int64
 	// MaxBodyBytes caps request body size (default 8 MiB).
 	MaxBodyBytes int64
 }
@@ -67,6 +78,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 10000
 	}
+	if c.MaxSpacePoints <= 0 {
+		c.MaxSpacePoints = 10_000_000
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
@@ -83,6 +97,7 @@ type Server struct {
 	cfg      Config
 	outcomes *cache.Cache[core.Outcome]
 	start    time.Time
+	sweeps   *sweepRegistry
 
 	mu    sync.Mutex
 	flows map[string]*core.Toolflow // keyed by params hash
@@ -99,6 +114,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		outcomes: cache.New[core.Outcome](cfg.CacheEntries),
 		start:    time.Now(),
+		sweeps:   newSweepRegistry(),
 		flows:    make(map[string]*core.Toolflow),
 	}, nil
 }
@@ -128,6 +144,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	mux.HandleFunc("GET /v1/apps", s.handleApps)
 	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	mux.HandleFunc("GET /v1/params", s.handleParams)
@@ -190,11 +208,15 @@ type RunResponse struct {
 	ElapsedUS int64       `json:"elapsed_us"`
 }
 
-// SweepLine is one NDJSON outcome line of POST /v1/sweep. Seq is the
-// zero-based index of the point in the request: lines stream in
-// completion order, so clients use it to map outcomes back.
+// SweepLine is one NDJSON outcome line of POST /v1/sweep. For the
+// materialized-points form, Seq is the zero-based index of the point in
+// the request and lines stream in completion order. For the grammar
+// form, Seq is the point's index in the space expansion, lines stream in
+// expansion order, and Cursor resumes the sweep immediately after this
+// row (pass it back as resume_from with the same space).
 type SweepLine struct {
-	Seq int `json:"seq"`
+	Seq    int    `json:"seq"`
+	Cursor string `json:"cursor,omitempty"`
 	RunResponse
 }
 
@@ -231,9 +253,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, runResponse(o, cached, time.Since(start)))
 }
 
-// SweepRequest is the body of POST /v1/sweep.
+// SweepRequest is the body of POST /v1/sweep. Exactly one of Points
+// (the original materialized form) or Space (the sweep grammar, expanded
+// lazily server-side) must be set.
 type SweepRequest struct {
-	Points []core.Point `json:"points"`
+	Points []core.Point `json:"points,omitempty"`
+	// Space is the design-space grammar: the cross product of its axes
+	// is validated up front, expanded lazily in a stable order, and
+	// streamed with per-row resume cursors.
+	Space *sweep.Space `json:"space,omitempty"`
+	// ResumeFrom continues a grammar sweep from a cursor previously
+	// returned with the same space (grammar form only).
+	ResumeFrom string `json:"resume_from,omitempty"`
+	// Limit caps the number of rows this response streams (grammar form
+	// only); the summary then carries next_cursor for the remainder.
+	Limit int64 `json:"limit,omitempty"`
 	// Params optionally overrides the server calibration for every point.
 	Params *models.Params `json:"params,omitempty"`
 	// Workers caps this request's concurrency; clamped to the server
@@ -248,6 +282,10 @@ type SweepSummary struct {
 	Failed    int   `json:"failed"`
 	CacheHits int   `json:"cache_hits"`
 	ElapsedUS int64 `json:"elapsed_us"`
+	// SweepID and NextCursor are set on grammar sweeps only; NextCursor
+	// appears when a limit stopped the stream short of the space end.
+	SweepID    string `json:"sweep_id,omitempty"`
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -256,8 +294,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	if req.Space != nil && len(req.Points) > 0 {
+		writeError(w, http.StatusBadRequest, "sweep: points and space are mutually exclusive")
+		return
+	}
+	if req.Space != nil {
+		s.handleSpaceSweep(w, r, &req)
+		return
+	}
+	if req.ResumeFrom != "" || req.Limit != 0 {
+		writeError(w, http.StatusBadRequest, "sweep: resume_from and limit require a space grammar")
+		return
+	}
 	if len(req.Points) == 0 {
-		writeError(w, http.StatusBadRequest, "sweep: no points")
+		writeError(w, http.StatusBadRequest, "sweep: no points and no space")
 		return
 	}
 	if len(req.Points) > s.cfg.MaxSweepPoints {
@@ -373,6 +423,28 @@ type AppInfo struct {
 	Pattern       string `json:"pattern"`
 }
 
+// SizedFamilyInfo documents one "<app>@<n>" family of GET /v1/apps.
+type SizedFamilyInfo struct {
+	Base       string `json:"base"`
+	Constraint string `json:"constraint"`
+}
+
+// SizedInfo advertises the sized-benchmark name form of GET /v1/apps.
+// Sizes violating a family constraint or the MaxQubits bound are rejected
+// at request validation time with a 400.
+type SizedInfo struct {
+	Form      string            `json:"form"`
+	MaxQubits int               `json:"max_qubits"`
+	Families  []SizedFamilyInfo `json:"families"`
+}
+
+// AppsResponse is the body of GET /v1/apps: the paper-sized Table II
+// suite plus the sized "<app>@<n>" form every endpoint accepts.
+type AppsResponse struct {
+	Apps  []AppInfo `json:"apps"`
+	Sized SizedInfo `json:"sized"`
+}
+
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	var list []AppInfo
 	for _, spec := range apps.Suite() {
@@ -383,7 +455,11 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 			Pattern:       spec.PaperPattern,
 		})
 	}
-	writeJSON(w, http.StatusOK, list)
+	sized := SizedInfo{Form: "<app>@<n>", MaxQubits: apps.MaxSizedQubits}
+	for _, fam := range apps.SizedForms() {
+		sized.Families = append(sized.Families, SizedFamilyInfo{Base: fam.Base, Constraint: fam.Constraint})
+	}
+	writeJSON(w, http.StatusOK, AppsResponse{Apps: list, Sized: sized})
 }
 
 // TopologyForm documents one device spec form of GET /v1/topologies.

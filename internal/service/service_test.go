@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/models"
 )
 
@@ -251,12 +252,12 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	appList := decodeBody[[]AppInfo](t, resp)
-	if len(appList) != 6 {
-		t.Fatalf("apps = %d, want 6", len(appList))
+	appsResp := decodeBody[AppsResponse](t, resp)
+	if len(appsResp.Apps) != 6 {
+		t.Fatalf("apps = %d, want 6", len(appsResp.Apps))
 	}
 	names := map[string]bool{}
-	for _, a := range appList {
+	for _, a := range appsResp.Apps {
 		names[a.Name] = true
 		if a.Qubits <= 0 || a.TwoQubitGates <= 0 {
 			t.Errorf("app %+v missing stats", a)
@@ -265,6 +266,17 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	for _, want := range []string{"Supremacy", "QAOA", "SquareRoot", "QFT", "Adder", "BV"} {
 		if !names[want] {
 			t.Errorf("missing app %s", want)
+		}
+	}
+	if appsResp.Sized.Form != "<app>@<n>" || appsResp.Sized.MaxQubits != apps.MaxSizedQubits {
+		t.Errorf("sized info = %+v", appsResp.Sized)
+	}
+	if len(appsResp.Sized.Families) != 6 {
+		t.Errorf("sized families = %d, want 6", len(appsResp.Sized.Families))
+	}
+	for _, fam := range appsResp.Sized.Families {
+		if !names[fam.Base] || fam.Constraint == "" {
+			t.Errorf("sized family %+v", fam)
 		}
 	}
 

@@ -1,0 +1,351 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// SweepHeader is the first NDJSON line of a grammar sweep response: it
+// names the sweep for GET /v1/sweeps/{id}, pins the space identity the
+// row cursors are minted against, and states exactly which index window
+// this response will stream.
+type SweepHeader struct {
+	SweepID   string `json:"sweep_id"`
+	SpaceHash string `json:"space_hash"`
+	// GridSize is the full expansion size of the grammar.
+	GridSize int64 `json:"grid_size"`
+	// Start and End bound this response's half-open index window; Start
+	// is nonzero when resuming, End < GridSize when a limit applies.
+	Start int64 `json:"start_index"`
+	End   int64 `json:"end_index"`
+}
+
+// SweepStatus is the body of GET /v1/sweeps/{id}: a snapshot of one
+// grammar sweep's progress.
+type SweepStatus struct {
+	ID        string `json:"id"`
+	SpaceHash string `json:"space_hash"`
+	GridSize  int64  `json:"grid_size"`
+	Start     int64  `json:"start_index"`
+	End       int64  `json:"end_index"`
+	// Emitted counts rows written to the client so far; Failed and
+	// CacheHits break them down.
+	Emitted   int64 `json:"emitted"`
+	Failed    int64 `json:"failed"`
+	CacheHits int64 `json:"cache_hits"`
+	Done      bool  `json:"done"`
+	// ClientDropped reports that the response writer failed mid-stream;
+	// the last emitted row's cursor is the resume point.
+	ClientDropped bool  `json:"client_dropped,omitempty"`
+	ElapsedUS     int64 `json:"elapsed_us"`
+}
+
+// sweepState is the mutable progress record behind one SweepStatus.
+type sweepState struct {
+	mu      sync.Mutex
+	status  SweepStatus
+	started time.Time
+}
+
+func (st *sweepState) note(failed, cached bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.status.Emitted++
+	if failed {
+		st.status.Failed++
+	}
+	if cached {
+		st.status.CacheHits++
+	}
+}
+
+func (st *sweepState) finish(dropped bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.status.Done = true
+	st.status.ClientDropped = dropped
+	st.status.ElapsedUS = time.Since(st.started).Microseconds()
+}
+
+func (st *sweepState) snapshot() SweepStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.status
+	if !s.Done {
+		s.ElapsedUS = time.Since(st.started).Microseconds()
+	}
+	return s
+}
+
+// maxTrackedSweeps bounds the sweep progress registry; finished sweeps
+// are evicted first, oldest first, so long-running in-flight sweeps stay
+// observable under churn.
+const maxTrackedSweeps = 256
+
+// sweepRegistry tracks grammar sweeps for the progress endpoint.
+type sweepRegistry struct {
+	mu     sync.Mutex
+	order  []string // insertion order, for eviction
+	states map[string]*sweepState
+}
+
+func newSweepRegistry() *sweepRegistry {
+	return &sweepRegistry{states: make(map[string]*sweepState)}
+}
+
+func (r *sweepRegistry) add(grid *sweep.Grid, start, end int64) *sweepState {
+	st := &sweepState{
+		status: SweepStatus{
+			ID:        newSweepID(),
+			SpaceHash: grid.Hash(),
+			GridSize:  grid.Size(),
+			Start:     start,
+			End:       end,
+		},
+		started: time.Now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) >= maxTrackedSweeps {
+		r.evictLocked()
+	}
+	r.order = append(r.order, st.status.ID)
+	r.states[st.status.ID] = st
+	return st
+}
+
+// evictLocked drops one entry: the oldest finished sweep, or the oldest
+// overall if every tracked sweep is still in flight.
+func (r *sweepRegistry) evictLocked() {
+	victim := -1
+	for i, id := range r.order {
+		if r.states[id].snapshot().Done {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		victim = 0
+	}
+	delete(r.states, r.order[victim])
+	r.order = append(r.order[:victim], r.order[victim+1:]...)
+}
+
+func (r *sweepRegistry) get(id string) (*sweepState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.states[id]
+	return st, ok
+}
+
+func (r *sweepRegistry) snapshotAll() []SweepStatus {
+	r.mu.Lock()
+	ids := append([]string(nil), r.order...)
+	states := make([]*sweepState, 0, len(ids))
+	for _, id := range ids {
+		states = append(states, r.states[id])
+	}
+	r.mu.Unlock()
+	out := make([]SweepStatus, 0, len(states))
+	for _, st := range states {
+		out = append(out, st.snapshot())
+	}
+	return out
+}
+
+func newSweepID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for the process anyway;
+		// fall back to a time-derived id rather than panicking a request.
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000000000")))[:16]
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.sweeps.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "sweep: unknown sweep id %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st.snapshot())
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sweeps.snapshotAll())
+}
+
+// slot carries one grid index through the worker pool. res is buffered so
+// a worker can always deposit its row and move on, even after the client
+// has dropped and the emitter stopped draining promptly.
+type slot struct {
+	idx int64
+	res chan RunResponse
+}
+
+// handleSpaceSweep streams the lazy expansion of a sweep grammar as
+// NDJSON. Points are evaluated concurrently but emitted strictly in
+// expansion order, each row carrying the cursor that resumes immediately
+// after it; peak expanded-point residency is O(workers), never O(grid).
+func (s *Server) handleSpaceSweep(w http.ResponseWriter, r *http.Request, req *SweepRequest) {
+	grid, err := req.Space.Compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if grid.Size() > s.cfg.MaxSpacePoints {
+		writeError(w, http.StatusBadRequest, "sweep: space expands to %d points, exceeding the limit of %d",
+			grid.Size(), s.cfg.MaxSpacePoints)
+		return
+	}
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, "sweep: limit must be >= 0, got %d", req.Limit)
+		return
+	}
+	params, err := s.params(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "params: %v", err)
+		return
+	}
+	start := int64(0)
+	if req.ResumeFrom != "" {
+		if start, err = grid.Resume(req.ResumeFrom); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	end := grid.Size()
+	if req.Limit > 0 && start+req.Limit < end {
+		end = start + req.Limit
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.MaxWorkers {
+		workers = s.cfg.MaxWorkers
+	}
+	if n := end - start; int64(workers) > n {
+		workers = int(n)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	tf := s.toolflowFor(params)
+	st := s.sweeps.add(grid, start, end)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// The emitter below is the only writer, so no write lock is needed.
+	// A failed write (client gone) cancels the feeder; workers then wind
+	// down after at most their in-flight points.
+	ctx, cancelFeed := context.WithCancel(r.Context())
+	defer cancelFeed()
+	enc := json.NewEncoder(w)
+	alive := true
+	write := func(v any) {
+		if !alive {
+			return
+		}
+		if err := enc.Encode(v); err != nil {
+			alive = false
+			cancelFeed()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	write(SweepHeader{
+		SweepID:   st.status.ID,
+		SpaceHash: grid.Hash(),
+		GridSize:  grid.Size(),
+		Start:     start,
+		End:       end,
+	})
+
+	// order is the emission sequence and the backpressure bound: the
+	// feeder stalls once `workers` slots are pending emission, so at most
+	// ~2×workers points exist at once (queued here plus held by workers).
+	order := make(chan *slot, workers)
+	work := make(chan *slot)
+	go func() {
+		defer close(order)
+		defer close(work)
+		for i := start; i < end; i++ {
+			// Checked before the selects: both channel sends can be ready at
+			// the same time as ctx.Done, and select would pick arbitrarily —
+			// this keeps a dropped client from feeding any further points.
+			if ctx.Err() != nil {
+				return
+			}
+			sl := &slot{idx: i, res: make(chan RunResponse, 1)}
+			// Hand the slot to a worker before queueing it for emission:
+			// every slot the emitter sees is guaranteed to be filled, so a
+			// cancellation can never strand the emitter on an empty slot.
+			select {
+			case work <- sl:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case order <- sl:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sl := range work {
+				opStart := time.Now()
+				o, cached := tf.Do(grid.PointAt(sl.idx))
+				sl.res <- runResponse(o, cached, time.Since(opStart))
+			}
+		}()
+	}
+
+	sweepStart := time.Now()
+	for sl := range order {
+		resp := <-sl.res
+		if !alive {
+			continue // drain so progress stays truthful
+		}
+		write(SweepLine{
+			Seq:         int(sl.idx),
+			Cursor:      grid.Cursor(sl.idx + 1),
+			RunResponse: resp,
+		})
+		if alive {
+			st.note(resp.Error != "", resp.Cached)
+		}
+	}
+	wg.Wait()
+	snap := st.snapshot()
+	summary := SweepSummary{
+		Done:      true,
+		SweepID:   st.status.ID,
+		Total:     int(snap.Emitted),
+		Failed:    int(snap.Failed),
+		CacheHits: int(snap.CacheHits),
+		ElapsedUS: time.Since(sweepStart).Microseconds(),
+	}
+	// A limited window that stopped short of the grid end gets the
+	// continuation cursor in the summary, so paginating clients need not
+	// track per-row cursors.
+	if end < grid.Size() {
+		summary.NextCursor = grid.Cursor(end)
+	}
+	write(summary)
+	st.finish(!alive)
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# daemon_smoke.sh — end-to-end smoke test of the qccdd sweep grammar.
+#
+# Builds and starts the daemon, streams a small grammar sweep to completion
+# as a reference, then repeats the sweep but kills the connection mid-stream
+# (head closes the pipe after a few rows) and resumes from the last received
+# row's cursor. The union of sequence numbers from the partial and resumed
+# streams must be exactly the full expansion range, each index once — no
+# gaps, no duplicates. Finally checks the sweep progress registry.
+#
+# Uses only curl + POSIX text tools, so it runs on a bare CI image.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${QCCDD_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "daemon_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== building qccdd"
+go build -o "$TMP/qccdd" ./cmd/qccdd
+
+echo "== starting daemon on :${PORT}"
+"$TMP/qccdd" -addr "127.0.0.1:${PORT}" &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "daemon did not become healthy"
+
+# 2 apps x 2 topologies x 2 capacities = 8 points, expanded lazily
+# server-side. BV is cheap enough for a smoke test.
+SPACE='{"apps":["BV@8","BV@12"],"topologies":["L2","L3"],"capacities":[14,18]}'
+NPOINTS=8
+
+echo "== reference: full grammar sweep"
+curl -sN -X POST "$BASE/v1/sweep" -d "{\"space\":$SPACE}" > "$TMP/full.ndjson"
+# header + one row per point + summary
+LINES=$(wc -l < "$TMP/full.ndjson")
+[ "$LINES" -eq $((NPOINTS + 2)) ] || { cat "$TMP/full.ndjson" >&2; fail "full sweep: $LINES lines, want $((NPOINTS + 2))"; }
+grep -q '"done":true' "$TMP/full.ndjson" || fail "full sweep: no summary line"
+
+echo "== kill mid-stream after 3 rows"
+# head exits after 4 lines (header + 3 rows) and closes the pipe; curl
+# dies on the broken pipe, which is the point — simulate a dropped client.
+set +e +o pipefail
+curl -sN -X POST "$BASE/v1/sweep" -d "{\"space\":$SPACE,\"workers\":1}" | head -n 4 > "$TMP/partial.ndjson"
+set -e -o pipefail
+PARTIAL_ROWS=$(grep -c '"seq":' "$TMP/partial.ndjson" || true)
+[ "$PARTIAL_ROWS" -eq 3 ] || { cat "$TMP/partial.ndjson" >&2; fail "partial stream: $PARTIAL_ROWS rows, want 3"; }
+
+CURSOR=$(tail -n 1 "$TMP/partial.ndjson" | grep -o '"cursor":"[^"]*"' | sed 's/"cursor":"//;s/"$//')
+[ -n "$CURSOR" ] || fail "no cursor on last received row"
+echo "   resuming from cursor $CURSOR"
+
+echo "== resume from last received cursor"
+curl -sN -X POST "$BASE/v1/sweep" -d "{\"space\":$SPACE,\"resume_from\":\"$CURSOR\"}" > "$TMP/resumed.ndjson"
+grep -q '"done":true' "$TMP/resumed.ndjson" || { cat "$TMP/resumed.ndjson" >&2; fail "resumed sweep: no summary line"; }
+
+echo "== verify: partial + resumed = every index exactly once"
+{ grep -o '"seq":[0-9]*' "$TMP/partial.ndjson"; grep -o '"seq":[0-9]*' "$TMP/resumed.ndjson"; } \
+  | sed 's/"seq"://' | sort -n > "$TMP/got-seqs.txt"
+seq 0 $((NPOINTS - 1)) > "$TMP/want-seqs.txt"
+diff -u "$TMP/want-seqs.txt" "$TMP/got-seqs.txt" || fail "sequence union has gaps or duplicates"
+
+echo "== verify: resumed rows were cache hits (no recomputation)"
+# The full reference run already computed every point, so the resumed
+# window must be served entirely from the content-addressed cache.
+RESUMED_ROWS=$(grep -c '"seq":' "$TMP/resumed.ndjson")
+HITS=$(grep -o '"cache_hits":[0-9]*' "$TMP/resumed.ndjson" | tail -n 1 | sed 's/.*://')
+[ "$HITS" -eq "$RESUMED_ROWS" ] || fail "resumed sweep recomputed points: $HITS cache hits for $RESUMED_ROWS rows"
+
+echo "== verify: progress registry"
+SWEEP_ID=$(head -n 1 "$TMP/resumed.ndjson" | grep -o '"sweep_id":"[^"]*"' | sed 's/"sweep_id":"//;s/"$//')
+[ -n "$SWEEP_ID" ] || fail "resumed header has no sweep_id"
+curl -sf "$BASE/v1/sweeps/$SWEEP_ID" > "$TMP/status.json"
+grep -q '"done":true' "$TMP/status.json" || { cat "$TMP/status.json" >&2; fail "sweep $SWEEP_ID not done in registry"; }
+grep -q '"start_index":3' "$TMP/status.json" || { cat "$TMP/status.json" >&2; fail "resumed sweep did not start at index 3"; }
+# All three sweeps (reference, interrupted, resumed) ran the same grammar,
+# so the registry must list three sweeps sharing one space hash. (A sweep
+# this small can finish before the kernel surfaces the broken pipe, so
+# client_dropped is not asserted here — the in-process tests cover it.)
+curl -sf "$BASE/v1/sweeps" > "$TMP/sweeps.json"
+HASHES=$(grep -o '"space_hash":"[^"]*"' "$TMP/sweeps.json" | sort | uniq -c | sed 's/^ *//')
+echo "   registry: $HASHES"
+[ "$(echo "$HASHES" | wc -l)" -eq 1 ] || fail "registry has sweeps for more than one space"
+[ "$(echo "$HASHES" | sed 's/ .*//')" -eq 3 ] || fail "registry does not list all three sweeps"
+
+echo "daemon_smoke: PASS"
