@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/stabilizer"
 )
 
 func BenchmarkTable1(b *testing.B) {
@@ -399,6 +400,60 @@ func BenchmarkAblationRing(b *testing.B) {
 			}
 			b.ReportMetric(res.Fidelity, "fidelity")
 			b.ReportMetric(float64(res.Splits), "splits")
+		})
+	}
+}
+
+// surfaceDistances are the code distances of the surface-code benchmarks
+// (161 qubits at d=9, well past dense statevector reach).
+var surfaceDistances = []int{5, 7, 9}
+
+// BenchmarkSimulateSurface measures discrete-event simulation of
+// pre-compiled Surface@d syndrome-extraction programs — the stabilizer-
+// era workload family — on linear devices sized to hold them.
+func BenchmarkSimulateSurface(b *testing.B) {
+	params := DefaultParams()
+	for _, d := range surfaceDistances {
+		n := 2*d*d - 1
+		b.Run(fmt.Sprintf("d%d-%dq", d, n), func(b *testing.B) {
+			circ, err := Benchmark(fmt.Sprintf("Surface@%d", d))
+			if err != nil {
+				b.Fatal(err)
+			}
+			dev, err := largeDevice("linear", n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := Compile(circ, dev, DefaultCompileOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(prog, dev, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStabilizerSurface measures the tableau backend alone on the
+// same circuits: the O(n²)-per-gate fast path that makes Clifford
+// workloads at this width simulable at all.
+func BenchmarkStabilizerSurface(b *testing.B) {
+	for _, d := range surfaceDistances {
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
+			circ, err := Benchmark(fmt.Sprintf("Surface@%d", d))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := stabilizer.Run(circ); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -1,6 +1,7 @@
 // Command experiments regenerates the paper's evaluation: Table I,
 // Table II, and Figures 6, 7 and 8, plus a beyond-the-paper device
-// scaling study. With no selection flags it runs everything. With -csv
+// scaling study and a surface-code QEC study. With no selection flags it
+// runs everything. With -csv
 // DIR it additionally writes the raw figure data as CSV files.
 //
 // Every figure runs on one shared toolflow with a content-addressed
@@ -11,7 +12,7 @@
 //
 // Usage:
 //
-//	experiments [-table1] [-table2] [-fig6] [-fig7] [-fig8] [-scaling] [-csv DIR]
+//	experiments [-table1] [-table2] [-fig6] [-fig7] [-fig8] [-scaling] [-qec] [-csv DIR]
 //	experiments -grammar   # print the paper grid as a sweep-grammar request
 package main
 
@@ -44,6 +45,7 @@ func realMain() int {
 		fig7    = flag.Bool("fig7", false, "run the Figure 7 topology study")
 		fig8    = flag.Bool("fig8", false, "run the Figure 8 microarchitecture study")
 		scaling = flag.Bool("scaling", false, "run the beyond-paper device scaling study")
+		qec     = flag.Bool("qec", false, "run the beyond-paper surface-code QEC study")
 		grammar = flag.Bool("grammar", false, "print the full paper grid as a sweep-grammar request body for POST /v1/sweep and exit")
 		csvDir  = flag.String("csv", "", "directory to write raw figure data as CSV")
 	)
@@ -67,7 +69,7 @@ func realMain() int {
 		fmt.Println(string(out))
 		return 0
 	}
-	all := !*table1 && !*table2 && !*fig6 && !*fig7 && !*fig8 && !*scaling
+	all := !*table1 && !*table2 && !*fig6 && !*fig7 && !*fig8 && !*scaling && !*qec
 	params := models.Default()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -98,6 +100,9 @@ func realMain() int {
 	}
 	if all || *scaling {
 		failed += run("scaling", *csvDir, func() (artifact, error) { return experiments.RunScalingWith(runner) })
+	}
+	if all || *qec {
+		failed += run("qec", *csvDir, func() (artifact, error) { return experiments.RunQECWith(runner) })
 	}
 	if st := runner.CacheStats(); st.Misses > 0 {
 		// Misses includes retries of failed points (errors are never

@@ -162,6 +162,7 @@ func sizedFamilies() []sizedFamily {
 			// the same per-qubit gate density as the grid widens.
 			build: func(n int) (*circuit.Circuit, error) { return Supremacy(8, n/8, 560*n/64, 1) },
 		},
+		surfaceFamily(),
 	}
 }
 
@@ -245,6 +246,8 @@ func ValidateName(name string) error {
 //   - SquareRoot@n: n/2 search qubits; n even, >= 6
 //   - Supremacy@n:  an 8×(n/8) grid at the paper's 8.75 gates/qubit
 //     density; n divisible by 8, >= 16
+//   - Surface@n:    distance-n rotated surface code, n rounds of
+//     syndrome extraction over 2n²−1 qubits; n odd, 3 <= n <= 21
 func Sized(base string, n int) (*circuit.Circuit, error) {
 	fam, err := checkSized(base, n)
 	if err != nil {

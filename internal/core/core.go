@@ -168,6 +168,12 @@ func (tf *Toolflow) compute(pt Point) Outcome {
 	if err != nil {
 		return Outcome{Point: pt, Err: fmt.Errorf("%s: %w", pt, err)}
 	}
+	// QEC workloads additionally report a logical-error estimate derived
+	// from the simulated physical fidelity. Non-QEC results never carry
+	// the fields (omitempty), so the golden wire format is unchanged.
+	if d, rounds, ok := apps.SurfaceSpec(pt.App); ok {
+		res.AttachQEC(d, rounds)
+	}
 	return Outcome{Point: pt, Result: res}
 }
 

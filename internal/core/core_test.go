@@ -105,3 +105,28 @@ func TestCapacitySweepShape(t *testing.T) {
 		t.Error("microarchitecture not propagated")
 	}
 }
+
+// TestQECMetricAttachment runs a Surface@d design point end-to-end and
+// checks the logical-error fields ride the outcome, while non-QEC points
+// stay clean — the omitempty contract that keeps the golden grid stable.
+func TestQECMetricAttachment(t *testing.T) {
+	tf := New(models.Default())
+	o := tf.Run(Point{App: "Surface@3", Topology: "L2", Capacity: 20, Gate: models.FM, Reorder: models.GS})
+	if o.Err != nil {
+		t.Fatalf("Surface@3: %v", o.Err)
+	}
+	if o.Result.CodeDistance != 3 || o.Result.QECRounds != 3 {
+		t.Errorf("QEC fields: d=%d rounds=%d, want 3/3", o.Result.CodeDistance, o.Result.QECRounds)
+	}
+	if o.Result.LogicalErrorRate <= 0 || o.Result.LogicalErrorRate > 0.5 {
+		t.Errorf("logical error rate %v outside (0, 0.5]", o.Result.LogicalErrorRate)
+	}
+
+	plain := tf.Run(Point{App: "BV", Topology: "L6", Capacity: 20, Gate: models.FM, Reorder: models.GS})
+	if plain.Err != nil {
+		t.Fatalf("BV: %v", plain.Err)
+	}
+	if plain.Result.CodeDistance != 0 || plain.Result.QECRounds != 0 || plain.Result.LogicalErrorRate != 0 {
+		t.Errorf("non-QEC point carries QEC fields: %+v", plain.Result)
+	}
+}

@@ -1,0 +1,165 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/compiler"
+	"repro/internal/device"
+	"repro/internal/statevec"
+)
+
+// distTolerance bounds the total-variation distance between the two
+// backends' distributions. The stabilizer side is exact dyadic rationals;
+// the dense side accumulates float error over ≤ 64 gates, comfortably
+// below 1e-9.
+const distTolerance = 1e-9
+
+// diffSeeds is the harness size: every seed is one random Clifford
+// circuit run through both backends. The acceptance bar is ≥ 500.
+const diffSeeds = 600
+
+func bothBackends(t *testing.T, c *circuit.Circuit) (dense, stab statevec.Distribution) {
+	t.Helper()
+	dense, used, err := statevec.RunDistribution(c, statevec.Dense)
+	if err != nil || used != statevec.Dense {
+		t.Fatalf("%s: dense run: %v (%s)", c.Name, err, used)
+	}
+	stab, used, err = statevec.RunDistribution(c, statevec.Stabilizer)
+	if err != nil || used != statevec.Stabilizer {
+		t.Fatalf("%s: stabilizer run: %v (%s)", c.Name, err, used)
+	}
+	return dense, stab
+}
+
+// TestBackendsAgreeOnRandomCliffords is the headline differential proof:
+// diffSeeds seeded random Clifford circuits (up to 12 qubits) must
+// produce identical measurement distributions on the dense and tableau
+// backends, and Auto must route every one of them to the tableau.
+func TestBackendsAgreeOnRandomCliffords(t *testing.T) {
+	opts := DefaultGenOptions()
+	for seed := int64(0); seed < diffSeeds; seed++ {
+		c := RandomClifford(seed, opts)
+		if picked := statevec.PickBackend(c, statevec.Auto); picked != statevec.Stabilizer {
+			t.Fatalf("seed %d: Auto picked %s for a Clifford circuit", seed, picked)
+		}
+		dense, stab := bothBackends(t, c)
+		if tv := dense.TotalVariation(stab); tv > distTolerance {
+			t.Errorf("seed %d (%d qubits, %d gates): backends diverge, TV = %g\ndense: %v\nstab:  %v",
+				seed, c.NumQubits, len(c.Gates), tv, dense, stab)
+		}
+	}
+}
+
+// TestMetamorphicInverseIdentity: appending a circuit's inverse must send
+// |0...0⟩ back to |0...0⟩ exactly, on both backends.
+func TestMetamorphicInverseIdentity(t *testing.T) {
+	opts := DefaultGenOptions()
+	for seed := int64(0); seed < 100; seed++ {
+		c := Inverse(RandomClifford(seed, opts))
+		dense, stab := bothBackends(t, c)
+		for name, d := range map[string]statevec.Distribution{"dense": dense, "stabilizer": stab} {
+			if p := d.Prob(0); p < 1-distTolerance {
+				t.Errorf("seed %d (%s): P(|0...0⟩) = %v after inverse-append, want 1", seed, name, p)
+			}
+		}
+	}
+}
+
+// TestMetamorphicCommutation: transposing adjacent gates on disjoint
+// qubits cannot change the computed distribution on either backend.
+func TestMetamorphicCommutation(t *testing.T) {
+	opts := DefaultGenOptions()
+	rewritten := 0
+	for seed := int64(0); seed < 200; seed++ {
+		c := RandomClifford(seed, opts)
+		rw, ok := CommuteDisjoint(c, seed+1)
+		if !ok {
+			continue
+		}
+		rewritten++
+		_, origStab := bothBackends(t, c)
+		rwDense, rwStab := bothBackends(t, rw)
+		if tv := origStab.TotalVariation(rwStab); tv > distTolerance {
+			t.Errorf("seed %d: commutation rewrite changed stabilizer distribution, TV = %g", seed, tv)
+		}
+		if tv := rwDense.TotalVariation(rwStab); tv > distTolerance {
+			t.Errorf("seed %d: rewritten circuit diverges across backends, TV = %g", seed, tv)
+		}
+	}
+	if rewritten < 100 {
+		t.Errorf("only %d/200 seeds had commutable pairs; generator shape regressed", rewritten)
+	}
+}
+
+// TestGeneratorDeterministic: one seed, one circuit — the differential
+// results must be reproducible from a failure report's seed alone.
+func TestGeneratorDeterministic(t *testing.T) {
+	opts := DefaultGenOptions()
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := RandomClifford(seed, opts), RandomClifford(seed, opts)
+		if a.NumQubits != b.NumQubits || len(a.Gates) != len(b.Gates) {
+			t.Fatalf("seed %d: shapes differ: %d/%d qubits, %d/%d gates",
+				seed, a.NumQubits, b.NumQubits, len(a.Gates), len(b.Gates))
+		}
+		for i := range a.Gates {
+			if a.Gates[i].String() != b.Gates[i].String() {
+				t.Fatalf("seed %d gate %d: %s vs %s", seed, i, a.Gates[i], b.Gates[i])
+			}
+		}
+	}
+	if RandomClifford(1, opts).NumQubits == 0 {
+		t.Fatal("degenerate circuit")
+	}
+}
+
+// TestGeneratorValidAndCovering: every generated circuit validates, and
+// across the harness's seed range every Clifford gate kind appears —
+// counters are asserted so a generator regression cannot silently shrink
+// what the differential test exercises.
+func TestGeneratorValidAndCovering(t *testing.T) {
+	opts := DefaultGenOptions()
+	counts := map[circuit.Kind]int{}
+	for seed := int64(0); seed < diffSeeds; seed++ {
+		c := RandomClifford(seed, opts)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid circuit: %v", seed, err)
+		}
+		if c.NumQubits < opts.MinQubits || c.NumQubits > opts.MaxQubits {
+			t.Fatalf("seed %d: %d qubits outside [%d,%d]", seed, c.NumQubits, opts.MinQubits, opts.MaxQubits)
+		}
+		if len(c.Gates) < 1 || len(c.Gates) > opts.MaxGates {
+			t.Fatalf("seed %d: %d gates outside [1,%d]", seed, len(c.Gates), opts.MaxGates)
+		}
+		for _, g := range c.Gates {
+			counts[g.Kind]++
+		}
+	}
+	for _, k := range CliffordKinds {
+		if counts[k] == 0 {
+			t.Errorf("gate kind %s never generated across %d seeds", k, diffSeeds)
+		}
+	}
+	t.Logf("kind counts over %d seeds: %v", diffSeeds, counts)
+}
+
+// TestGeneratedCircuitsCompile pushes a sample of generated circuits
+// through the real backend compiler and validates the emitted ISA
+// programs, tying the harness to the toolflow the service actually runs.
+func TestGeneratedCircuitsCompile(t *testing.T) {
+	dev, err := device.Parse("L6", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultGenOptions()
+	for seed := int64(0); seed < 25; seed++ {
+		c := RandomClifford(seed, opts)
+		prog, err := compiler.Compile(c, dev, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: ISA program invalid: %v", seed, err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -144,4 +145,38 @@ func Ratio(xs []float64) float64 {
 		return 0
 	}
 	return max / min
+}
+
+// Surface-code logical-error model. The toolflow's reliability output is
+// a fidelity product over physical operations (§V.B); for QEC workloads
+// the question is what that physical error rate buys at the logical
+// level. LogicalErrorRate applies the standard threshold scaling ansatz
+// (Fowler et al., "Surface codes: towards practical large-scale quantum
+// computation", PRA 86, 032324, Eq. 11): below threshold, each extra
+// unit of code distance suppresses the per-round logical failure
+// probability by another factor of (p/p_th).
+const (
+	// SurfaceThreshold is the circuit-level depolarizing threshold p_th.
+	SurfaceThreshold = 0.01
+	// surfaceScaleA is the empirical prefactor of the scaling ansatz.
+	surfaceScaleA = 0.03
+)
+
+// LogicalErrorRate estimates the probability that a distance-d rotated
+// surface code patch suffers a logical error over `rounds` rounds of
+// syndrome extraction, given a mean physical error rate pPhys per
+// operation: per round p_L = A·(pPhys/p_th)^((d+1)/2) (clamped to the
+// random-guessing ceiling ½), compounded over rounds as an odd-number-
+// of-flips probability ½·(1−(1−2·p_L)^rounds). Degenerate inputs
+// (non-positive d or rounds, pPhys <= 0) return 0; pPhys at or above
+// threshold saturates at ½.
+func LogicalErrorRate(pPhys float64, d, rounds int) float64 {
+	if d <= 0 || rounds <= 0 || pPhys <= 0 {
+		return 0
+	}
+	perRound := surfaceScaleA * math.Pow(pPhys/SurfaceThreshold, float64(d+1)/2)
+	if perRound > 0.5 {
+		perRound = 0.5
+	}
+	return 0.5 * (1 - math.Pow(1-2*perRound, float64(rounds)))
 }

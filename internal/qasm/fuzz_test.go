@@ -1,0 +1,45 @@
+package qasm
+
+import (
+	"testing"
+)
+
+// FuzzQASMParse drives the recursive-descent OpenQASM frontend with
+// arbitrary bytes. The contract under fuzzing: Parse never panics, never
+// over-reads (the scanner is bounds-checked, so a panic would surface
+// here), and anything it accepts is a valid circuit — the parser is the
+// service's only path for user-supplied programs, so "garbage in, error
+// out" is a security property, not a nicety.
+func FuzzQASMParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0];\n",
+		"OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nrz(pi/4) q[2];\nbarrier q;\nmeasure q -> c;\n",
+		"OPENQASM 2.0;\nqreg q[1];\nu3(0.1,0.2,0.3) q[0];\n",
+		"OPENQASM 3.0;\nqreg q[1];",
+		"qreg q[0];",
+		"OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];",
+		"OPENQASM 2.0;\nqreg q[1];\nh q[99];",
+		"// comment only",
+		"OPENQASM 2.0;\nqreg q[1];\nrx(1e309) q[0];",
+		"OPENQASM 2.0;\nqreg q[1];\nh\x00q[0];",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse("fuzz", src)
+		if err != nil {
+			if c != nil {
+				t.Fatalf("Parse returned both a circuit and an error: %v", err)
+			}
+			return
+		}
+		if c == nil {
+			t.Fatal("Parse returned nil circuit with nil error")
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("accepted circuit fails validation: %v\nsource: %q", verr, src)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSurfaceBadSizesRejected mirrors the QFT@n sized-name checks for the
+// Surface@d family: even, zero, negative and over-budget distances must
+// 400 at request time on every point-accepting endpoint — /v1/run and
+// both sweep forms — not surface later as evaluation failures.
+func TestSurfaceBadSizesRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, size := range []string{"4", "0", "-3", "2", "23", "4096"} {
+		app := "Surface@" + size
+		cases := []struct{ name, path, body string }{
+			{"run", "/v1/run", `{"point":{"app":"` + app + `","topology":"L6","capacity":14}}`},
+			{"points sweep", "/v1/sweep", `{"points":[{"app":"` + app + `","topology":"L6","capacity":14}]}`},
+			{"space sweep", "/v1/sweep", `{"space":{"apps":["` + app + `"],"topologies":["L6"],"capacities":[14]}}`},
+		}
+		for _, tc := range cases {
+			resp := postJSON(t, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s: status = %d, want 400", tc.name, app, resp.StatusCode)
+			}
+			if body := decodeBody[errorBody](t, resp); body.Error == "" {
+				t.Errorf("%s %s: missing error message", tc.name, app)
+			}
+		}
+	}
+
+	// Sanity: a legal odd distance is accepted by validation (run it small
+	// so the test stays fast).
+	resp := postJSON(t, ts.URL+"/v1/run", `{"point":{"app":"Surface@3","topology":"L2","capacity":20,"gate":"FM","reorder":"GS"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Surface@3 run: status = %d", resp.StatusCode)
+	}
+	run := decodeBody[RunResponse](t, resp)
+	if run.Error != "" || run.Result == nil {
+		t.Fatalf("Surface@3 run failed: %+v", run)
+	}
+	if run.Result.CodeDistance != 3 || run.Result.LogicalErrorRate <= 0 {
+		t.Errorf("Surface@3 result missing QEC fields: %+v", run.Result)
+	}
+}
+
+// TestSurfaceSweepEndToEnd is the acceptance run: Surface@9 — 161 qubits,
+// beyond any exact statevector — compiles and simulates through the
+// grammar sweep, and the logical-error metric appears in the raw NDJSON
+// row schema.
+func TestSurfaceSweepEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"space":{"apps":["Surface@9"],"topologies":["L9"],"capacities":[22],"gates":["FM"],"reorders":["GS"]}}`
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, key := range []string{`"logical_error_rate"`, `"code_distance":9`, `"qec_rounds":9`} {
+		if !strings.Contains(text, key) {
+			t.Errorf("NDJSON stream missing %s:\n%s", key, text)
+		}
+	}
+	_, rows, summary := ndjson(t, strings.NewReader(text))
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
+	}
+	row := rows[0]
+	if row.Error != "" || row.Result == nil {
+		t.Fatalf("Surface@9 failed: %+v", row)
+	}
+	if row.Result.CodeDistance != 9 || row.Result.QECRounds != 9 {
+		t.Errorf("QEC fields: d=%d rounds=%d, want 9/9", row.Result.CodeDistance, row.Result.QECRounds)
+	}
+	if row.Result.LogicalErrorRate <= 0 || row.Result.LogicalErrorRate > 0.5 {
+		t.Errorf("logical error rate %v outside (0, 0.5]", row.Result.LogicalErrorRate)
+	}
+	if summary == nil || summary.Failed != 0 || summary.Total != 1 {
+		t.Errorf("summary = %+v", summary)
+	}
+}

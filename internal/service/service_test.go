@@ -271,13 +271,20 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	if appsResp.Sized.Form != "<app>@<n>" || appsResp.Sized.MaxQubits != apps.MaxSizedQubits {
 		t.Errorf("sized info = %+v", appsResp.Sized)
 	}
-	if len(appsResp.Sized.Families) != 6 {
-		t.Errorf("sized families = %d, want 6", len(appsResp.Sized.Families))
+	if len(appsResp.Sized.Families) != 7 {
+		t.Errorf("sized families = %d, want 7", len(appsResp.Sized.Families))
 	}
+	sizedBases := map[string]bool{}
 	for _, fam := range appsResp.Sized.Families {
-		if !names[fam.Base] || fam.Constraint == "" {
+		sizedBases[fam.Base] = true
+		// Surface is sized-only (no Table II instance); every other family
+		// must correspond to a suite app.
+		if (!names[fam.Base] && fam.Base != "Surface") || fam.Constraint == "" {
 			t.Errorf("sized family %+v", fam)
 		}
+	}
+	if !sizedBases["Surface"] {
+		t.Error("sized families missing Surface")
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/topologies")

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestResultQECWireFormat pins the two halves of the QEC wire contract:
+// results without AttachQEC encode with no QEC keys at all (so the golden
+// determinism grid is byte-identical to its pre-QEC encoding), and
+// attached results expose code_distance, qec_rounds and
+// logical_error_rate.
+func TestResultQECWireFormat(t *testing.T) {
+	r := &Result{Name: "QFT64", DeviceName: "L6", LogFidelity: -2,
+		MSGates: 100, OneQGates: 50, Measurements: 10}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"code_distance", "qec_rounds", "logical_error_rate"} {
+		if strings.Contains(string(raw), key) {
+			t.Errorf("unattached result leaks %q: %s", key, raw)
+		}
+	}
+
+	r.AttachQEC(9, 9)
+	if r.CodeDistance != 9 || r.QECRounds != 9 {
+		t.Errorf("AttachQEC: d=%d rounds=%d", r.CodeDistance, r.QECRounds)
+	}
+	if r.LogicalErrorRate <= 0 || r.LogicalErrorRate > 0.5 {
+		t.Errorf("logical error rate %v outside (0, 0.5]", r.LogicalErrorRate)
+	}
+	raw, err = json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"code_distance", "qec_rounds", "logical_error_rate"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("attached result missing %q: %s", key, raw)
+		}
+	}
+}
+
+func TestPhysicalErrorRate(t *testing.T) {
+	r := &Result{}
+	if got := r.PhysicalErrorRate(); got != 0 {
+		t.Errorf("zero ops: %v, want 0", got)
+	}
+	// 100 ops at log-fidelity −1: per-op error 1−e^{−0.01}.
+	r = &Result{LogFidelity: -1, MSGates: 60, OneQGates: 30, Measurements: 10}
+	got := r.PhysicalErrorRate()
+	if got < 0.0099 || got > 0.01 {
+		t.Errorf("PhysicalErrorRate = %v, want ≈0.00995", got)
+	}
+	// Perfect fidelity: zero error.
+	r.LogFidelity = 0
+	if got := r.PhysicalErrorRate(); got != 0 {
+		t.Errorf("perfect fidelity: %v, want 0", got)
+	}
+}

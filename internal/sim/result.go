@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/metrics"
 )
 
 // Result is the outcome of simulating one program: the application-level
@@ -71,6 +72,41 @@ type Result struct {
 	// largest single-op wait.
 	TotalWaitTime float64 `json:"total_wait_time_us"`
 	MaxWaitTime   float64 `json:"max_wait_time_us"`
+
+	// QEC metrics, attached post-simulation for surface-code workloads
+	// (see AttachQEC) and absent from the wire format otherwise — the
+	// omitempty tags keep every non-QEC result, including the golden
+	// determinism grid, byte-identical to its pre-QEC encoding.
+	//
+	// CodeDistance and QECRounds echo the workload's code distance and
+	// syndrome-extraction round count; LogicalErrorRate is the estimated
+	// probability of a logical error over the full run, derived from the
+	// simulated physical fidelity via the surface-code threshold ansatz
+	// (metrics.LogicalErrorRate).
+	CodeDistance     int     `json:"code_distance,omitempty"`
+	QECRounds        int     `json:"qec_rounds,omitempty"`
+	LogicalErrorRate float64 `json:"logical_error_rate,omitempty"`
+}
+
+// PhysicalErrorRate is the mean per-operation physical error implied by
+// the fidelity product: 1 − exp(LogFidelity/ops) over all executed
+// gates and measurements. It is exact even when Fidelity underflows.
+func (r *Result) PhysicalErrorRate() float64 {
+	ops := r.MSGates + r.OneQGates + r.Measurements
+	if ops == 0 {
+		return 0
+	}
+	return -math.Expm1(r.LogFidelity / float64(ops))
+}
+
+// AttachQEC marks the result as a distance-d, rounds-round surface-code
+// workload and derives its logical-error estimate from the simulated
+// physical error rate. The toolflow calls it for Surface@d points after
+// simulation; results of other workloads never carry QEC fields.
+func (r *Result) AttachQEC(d, rounds int) {
+	r.CodeDistance = d
+	r.QECRounds = rounds
+	r.LogicalErrorRate = metrics.LogicalErrorRate(r.PhysicalErrorRate(), d, rounds)
 }
 
 // TotalSeconds returns the makespan in seconds (the unit of the paper's

@@ -1,0 +1,128 @@
+package statevec
+
+// Backend routing: circuits that are pure Clifford automatically take the
+// stabilizer-tableau fast path (internal/stabilizer, O(n²) per gate, no
+// 2^n state), while anything with a T gate or a parameterized rotation
+// falls back to the dense state vector unchanged. Both backends define
+// measurement statistics the same way — barriers and measure ops are
+// skipped and the distribution is read from the final state — so the
+// choice of backend is unobservable except for reach (the tableau
+// simulates hundreds of qubits; dense caps at MaxQubits) and speed. The
+// differential harness in internal/difftest pins that unobservability.
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/stabilizer"
+)
+
+// Backend selects the simulation engine for RunDistribution.
+type Backend int
+
+const (
+	// Auto picks Stabilizer for pure-Clifford circuits and Dense otherwise.
+	Auto Backend = iota
+	// Dense forces the state-vector engine (exact, any gate, ≤ MaxQubits).
+	Dense
+	// Stabilizer forces the CHP tableau engine (Clifford gates only).
+	Stabilizer
+)
+
+// String names the backend for logs and errors.
+func (b Backend) String() string {
+	switch b {
+	case Auto:
+		return "auto"
+	case Dense:
+		return "dense"
+	case Stabilizer:
+		return "stabilizer"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// Distribution is a computational-basis measurement distribution: basis
+// index (qubit 0 = least-significant bit) to probability. Zero-probability
+// states are absent.
+type Distribution map[uint64]float64
+
+// Prob returns the probability of basis state idx (0 if absent).
+func (d Distribution) Prob(idx uint64) float64 { return d[idx] }
+
+// TotalVariation returns the total-variation distance to o:
+// ½·Σ|p−q| over the union of supports. Two distributions from the same
+// circuit on different backends should be 0 up to float accumulation.
+func (d Distribution) TotalVariation(o Distribution) float64 {
+	sum := 0.0
+	for idx, p := range d {
+		diff := p - o[idx]
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += diff
+	}
+	for idx, q := range o {
+		if _, ok := d[idx]; !ok {
+			sum += q
+		}
+	}
+	return sum / 2
+}
+
+// denseEpsilon drops amplitude-square dust from the dense distribution so
+// its support is comparable to the stabilizer backend's exact support.
+const denseEpsilon = 1e-12
+
+// Distribution enumerates the state's measurement distribution, dropping
+// probabilities below denseEpsilon.
+func (s *State) Distribution() Distribution {
+	d := make(Distribution)
+	for i := range s.amp {
+		if p := s.Probability(i); p > denseEpsilon {
+			d[uint64(i)] += p
+		}
+	}
+	return d
+}
+
+// PickBackend resolves Auto against the circuit: the stabilizer fast path
+// for pure-Clifford circuits, dense otherwise. Forced backends resolve to
+// themselves.
+func PickBackend(c *circuit.Circuit, b Backend) Backend {
+	if b != Auto {
+		return b
+	}
+	if stabilizer.IsClifford(c) {
+		return Stabilizer
+	}
+	return Dense
+}
+
+// RunDistribution evolves |0...0⟩ under c on the selected backend and
+// returns the final measurement distribution plus the backend that
+// actually ran. Auto routes pure-Clifford circuits to the tableau and
+// everything else to the dense engine; forcing Stabilizer on a
+// non-Clifford circuit is an error, as is forcing Dense past MaxQubits.
+func RunDistribution(c *circuit.Circuit, b Backend) (Distribution, Backend, error) {
+	switch picked := PickBackend(c, b); picked {
+	case Stabilizer:
+		tab, err := stabilizer.Run(c)
+		if err != nil {
+			return nil, picked, err
+		}
+		probs, err := tab.Distribution(0)
+		if err != nil {
+			return nil, picked, err
+		}
+		return Distribution(probs), picked, nil
+	case Dense:
+		s, err := Run(c)
+		if err != nil {
+			return nil, picked, err
+		}
+		return s.Distribution(), picked, nil
+	default:
+		return nil, picked, fmt.Errorf("statevec: unknown backend %s", picked)
+	}
+}

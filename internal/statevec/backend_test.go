@@ -1,0 +1,130 @@
+package statevec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func bell() *circuit.Circuit {
+	c := circuit.New("bell", 2)
+	c.Append(
+		circuit.NewGate1(circuit.GateH, 0),
+		circuit.NewGate2(circuit.GateCNOT, 0, 1),
+	)
+	return c
+}
+
+func tInjected() *circuit.Circuit {
+	c := bell()
+	c.Append(circuit.NewGate1(circuit.GateT, 0))
+	return c
+}
+
+func TestPickBackend(t *testing.T) {
+	if got := PickBackend(bell(), Auto); got != Stabilizer {
+		t.Errorf("Auto on Clifford: %s, want stabilizer", got)
+	}
+	if got := PickBackend(tInjected(), Auto); got != Dense {
+		t.Errorf("Auto on T-circuit: %s, want dense", got)
+	}
+	if got := PickBackend(bell(), Dense); got != Dense {
+		t.Errorf("forced Dense: %s", got)
+	}
+	if got := PickBackend(tInjected(), Stabilizer); got != Stabilizer {
+		t.Errorf("forced Stabilizer: %s", got)
+	}
+}
+
+func TestRunDistributionAutoRoutes(t *testing.T) {
+	d, used, err := RunDistribution(bell(), Auto)
+	if err != nil {
+		t.Fatalf("auto: %v", err)
+	}
+	if used != Stabilizer {
+		t.Errorf("auto on Clifford circuit used %s", used)
+	}
+	want := Distribution{0: 0.5, 3: 0.5}
+	if tv := d.TotalVariation(want); tv > 1e-12 {
+		t.Errorf("bell distribution off by TV %v: %v", tv, d)
+	}
+
+	d2, used, err := RunDistribution(tInjected(), Auto)
+	if err != nil {
+		t.Fatalf("auto dense: %v", err)
+	}
+	if used != Dense {
+		t.Errorf("auto on T circuit used %s", used)
+	}
+	// T is diagonal: the Bell distribution is unchanged.
+	if tv := d2.TotalVariation(want); tv > 1e-12 {
+		t.Errorf("T∘bell distribution off by TV %v: %v", tv, d2)
+	}
+}
+
+func TestBackendsAgreeWhenForced(t *testing.T) {
+	dd, used, err := RunDistribution(bell(), Dense)
+	if err != nil || used != Dense {
+		t.Fatalf("dense: %v (%s)", err, used)
+	}
+	ds, used, err := RunDistribution(bell(), Stabilizer)
+	if err != nil || used != Stabilizer {
+		t.Fatalf("stabilizer: %v (%s)", err, used)
+	}
+	if tv := dd.TotalVariation(ds); tv > 1e-12 {
+		t.Errorf("backends disagree, TV = %v\ndense: %v\nstab:  %v", tv, dd, ds)
+	}
+}
+
+func TestRunDistributionErrors(t *testing.T) {
+	if _, _, err := RunDistribution(tInjected(), Stabilizer); err == nil {
+		t.Error("forcing stabilizer on non-Clifford circuit: want error")
+	}
+	wide := circuit.New("wide", MaxQubits+1)
+	wide.Append(circuit.NewGate1(circuit.GateH, 0))
+	if _, _, err := RunDistribution(wide, Dense); err == nil {
+		t.Error("forcing dense past MaxQubits: want error")
+	}
+	// But Auto routes the same wide Clifford circuit to the tableau fine.
+	d, used, err := RunDistribution(wide, Auto)
+	if err != nil {
+		t.Fatalf("auto wide: %v", err)
+	}
+	if used != Stabilizer {
+		t.Errorf("auto wide used %s", used)
+	}
+	if tv := d.TotalVariation(Distribution{0: 0.5, 1: 0.5}); tv > 1e-12 {
+		t.Errorf("wide H distribution: %v", d)
+	}
+	if _, _, err := RunDistribution(bell(), Backend(42)); err == nil {
+		t.Error("unknown backend: want error")
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	for b, want := range map[Backend]string{
+		Auto: "auto", Dense: "dense", Stabilizer: "stabilizer", Backend(9): "backend(9)",
+	} {
+		if got := b.String(); got != want {
+			t.Errorf("Backend(%d).String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestDistributionHelpers(t *testing.T) {
+	d := Distribution{0: 0.5, 3: 0.5}
+	if p := d.Prob(0); p != 0.5 {
+		t.Errorf("Prob(0) = %v", p)
+	}
+	if p := d.Prob(7); p != 0 {
+		t.Errorf("Prob(7) = %v, want 0", p)
+	}
+	o := Distribution{0: 1}
+	if tv := d.TotalVariation(o); math.Abs(tv-0.5) > 1e-15 {
+		t.Errorf("TV = %v, want 0.5", tv)
+	}
+	if tv := o.TotalVariation(d); math.Abs(tv-0.5) > 1e-15 {
+		t.Errorf("TV asymmetric: %v", tv)
+	}
+}

@@ -1,0 +1,62 @@
+package qccd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// TestSurface9EndToEnd runs the largest QEC workload of the study —
+// Surface@9, 161 qubits, nine rounds of syndrome extraction — through the
+// full toolflow under default parameters and checks the outcome is a
+// physically sane, fully-populated result: the shuttling schedule stays
+// within the motional-energy model's sane range and the QEC metrics
+// attach the way the service layer does it.
+func TestSurface9EndToEnd(t *testing.T) {
+	circ, err := Benchmark("Surface@9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if circ.NumQubits != 161 {
+		t.Fatalf("Surface@9 has %d qubits, want 161", circ.NumQubits)
+	}
+	dev, err := largeDevice("linear", circ.NumQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(circ, dev, DefaultCompileOptions(), DefaultParams())
+	if err != nil {
+		t.Fatalf("Surface@9 toolflow run: %v", err)
+	}
+
+	if res.Fidelity <= 0 || res.Fidelity > 1 {
+		t.Errorf("fidelity %v outside (0, 1]", res.Fidelity)
+	}
+	if res.MaxMotionalEnergy <= 0 || math.IsInf(res.MaxMotionalEnergy, 0) || math.IsNaN(res.MaxMotionalEnergy) {
+		t.Errorf("max motional energy %v not a positive finite quanta count", res.MaxMotionalEnergy)
+	}
+	if res.MeanMotionalError < 0 || res.MeanMotionalError >= 1 {
+		t.Errorf("mean motional error %v outside [0, 1)", res.MeanMotionalError)
+	}
+	if res.MeanBackgroundError < 0 || res.MeanBackgroundError >= 1 {
+		t.Errorf("mean background error %v outside [0, 1)", res.MeanBackgroundError)
+	}
+	if res.MSGates == 0 || res.Measurements == 0 {
+		t.Errorf("gate counts missing: ms=%d measurements=%d", res.MSGates, res.Measurements)
+	}
+
+	// Attach the QEC metrics the way internal/core does for Surface@d
+	// points and check they land populated and in range.
+	d, rounds, ok := apps.SurfaceSpec("Surface@9")
+	if !ok || d != 9 || rounds != 9 {
+		t.Fatalf(`SurfaceSpec("Surface@9") = %d, %d, %v`, d, rounds, ok)
+	}
+	res.AttachQEC(d, rounds)
+	if res.CodeDistance != 9 || res.QECRounds != 9 {
+		t.Errorf("QEC fields: d=%d rounds=%d, want 9/9", res.CodeDistance, res.QECRounds)
+	}
+	if res.LogicalErrorRate <= 0 || res.LogicalErrorRate > 0.5 {
+		t.Errorf("logical error rate %v outside (0, 0.5]", res.LogicalErrorRate)
+	}
+}
