@@ -293,6 +293,41 @@ func BenchmarkCompilerScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkCompilePolicy compares compile cost across the registered
+// policy bundles, at the paper's QFT size and at a stress size, so the
+// overhead of the lookahead scorer and the congestion ledger relative to
+// the baseline heuristics stays visible in benchstat diffs.
+func BenchmarkCompilePolicy(b *testing.B) {
+	for _, info := range CompilerPolicies() {
+		pol, err := ParsePolicy(info.Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(info.Name, func(b *testing.B) {
+			for _, n := range []int{64, 200} {
+				b.Run(fmt.Sprintf("qft%d", n), func(b *testing.B) {
+					circ, err := qftSized(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					dev, err := NewLinearDevice(6, (n+5)/6+3)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts := compiler.DefaultOptions()
+					opts.Policy = pol
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := compiler.Compile(circ, dev, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 // qftSized builds a QFT-shaped instance of the given width (each
 // controlled phase as its 2-CNOT skeleton, matching the suite generator).
 func qftSized(n int) (*Circuit, error) {

@@ -1,7 +1,7 @@
 // Command experiments regenerates the paper's evaluation: Table I,
-// Table II, and Figures 6, 7 and 8, plus a beyond-the-paper device
-// scaling study and a surface-code QEC study. With no selection flags it
-// runs everything. With -csv
+// Table II, and Figures 6, 7 and 8, plus beyond-the-paper studies of
+// device scaling, surface-code QEC and compiler policies. With no
+// selection flags it runs everything. With -csv
 // DIR it additionally writes the raw figure data as CSV files.
 //
 // Every figure runs on one shared toolflow with a content-addressed
@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	experiments [-table1] [-table2] [-fig6] [-fig7] [-fig8] [-scaling] [-qec] [-csv DIR]
+//	experiments [-table1] [-table2] [-fig6] [-fig7] [-fig8] [-scaling] [-qec] [-policies] [-csv DIR]
 //	experiments -grammar   # print the paper grid as a sweep-grammar request
 package main
 
@@ -39,15 +39,16 @@ func realMain() int {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		table1  = flag.Bool("table1", false, "render Table I (shuttling operation times)")
-		table2  = flag.Bool("table2", false, "render Table II (application characteristics)")
-		fig6    = flag.Bool("fig6", false, "run the Figure 6 trap-sizing study")
-		fig7    = flag.Bool("fig7", false, "run the Figure 7 topology study")
-		fig8    = flag.Bool("fig8", false, "run the Figure 8 microarchitecture study")
-		scaling = flag.Bool("scaling", false, "run the beyond-paper device scaling study")
-		qec     = flag.Bool("qec", false, "run the beyond-paper surface-code QEC study")
-		grammar = flag.Bool("grammar", false, "print the full paper grid as a sweep-grammar request body for POST /v1/sweep and exit")
-		csvDir  = flag.String("csv", "", "directory to write raw figure data as CSV")
+		table1   = flag.Bool("table1", false, "render Table I (shuttling operation times)")
+		table2   = flag.Bool("table2", false, "render Table II (application characteristics)")
+		fig6     = flag.Bool("fig6", false, "run the Figure 6 trap-sizing study")
+		fig7     = flag.Bool("fig7", false, "run the Figure 7 topology study")
+		fig8     = flag.Bool("fig8", false, "run the Figure 8 microarchitecture study")
+		scaling  = flag.Bool("scaling", false, "run the beyond-paper device scaling study")
+		qec      = flag.Bool("qec", false, "run the beyond-paper surface-code QEC study")
+		policies = flag.Bool("policies", false, "run the beyond-paper compiler policy comparison")
+		grammar  = flag.Bool("grammar", false, "print the full paper grid as a sweep-grammar request body for POST /v1/sweep and exit")
+		csvDir   = flag.String("csv", "", "directory to write raw figure data as CSV")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -69,7 +70,7 @@ func realMain() int {
 		fmt.Println(string(out))
 		return 0
 	}
-	all := !*table1 && !*table2 && !*fig6 && !*fig7 && !*fig8 && !*scaling && !*qec
+	all := !*table1 && !*table2 && !*fig6 && !*fig7 && !*fig8 && !*scaling && !*qec && !*policies
 	params := models.Default()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -103,6 +104,9 @@ func realMain() int {
 	}
 	if all || *qec {
 		failed += run("qec", *csvDir, func() (artifact, error) { return experiments.RunQECWith(runner) })
+	}
+	if all || *policies {
+		failed += run("policies", *csvDir, func() (artifact, error) { return experiments.RunPolicyComparisonWith(runner) })
 	}
 	if st := runner.CacheStats(); st.Misses > 0 {
 		// Misses includes retries of failed points (errors are never

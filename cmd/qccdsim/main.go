@@ -30,6 +30,7 @@ func main() {
 		capacity = flag.Int("capacity", 20, "maximum ions per trap")
 		gateName = flag.String("gate", "FM", "two-qubit gate implementation: AM1|AM2|PM|FM")
 		reorder  = flag.String("reorder", "GS", "chain reordering method: GS|IS")
+		policy   = flag.String("policy", "baseline", "compiler policy bundle: baseline|lookahead|congestion|...")
 		buffer   = flag.Int("buffer", 2, "mapper buffer slots per trap")
 		dump     = flag.Bool("dump", false, "print the compiled executable")
 		stats    = flag.Bool("stats", false, "print workload statistics and exit")
@@ -78,6 +79,10 @@ func main() {
 	opts := qccd.DefaultCompileOptions()
 	opts.BufferSlots = *buffer
 	opts.Reorder, err = parseReorder(*reorder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Policy, err = qccd.ParsePolicy(*policy)
 	if err != nil {
 		log.Fatal(err)
 	}

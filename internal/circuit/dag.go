@@ -102,28 +102,59 @@ func (d *DAG) Len() int { return len(d.Succs) }
 // DAGs built by BuildDAG but is checked for safety.
 func (d *DAG) TopoOrder() ([]int, bool) {
 	n := d.Len()
-	indeg := make([]int, n)
-	copy(indeg, d.InDegree)
-	// Ready set kept as a min-heap over gate index, preallocated so ready
-	// bursts (wide layers) never reallocate.
-	h := &intHeap{a: make([]int, 0, n)}
-	for i, deg := range indeg {
-		if deg == 0 {
-			h.push(i)
-		}
-	}
+	s := d.NewMinScheduler()
 	order := make([]int, 0, n)
-	for h.len() > 0 {
-		u := h.pop()
+	for u := s.Next(); u >= 0; u = s.Next() {
 		order = append(order, u)
-		for _, v := range d.Succs[u] {
-			indeg[v]--
-			if indeg[v] == 0 {
-				h.push(v)
-			}
-		}
 	}
 	return order, len(order) == n
+}
+
+// MinScheduler yields a topological order one gate at a time, always
+// releasing the lowest-indexed ready gate next — the incremental form of
+// TopoOrder, kept as a separate type so consumers that interleave gate
+// emission with scheduling (the compiler's baseline gate-order policy) pay
+// no precomputed-order pass and no extra allocation per gate.
+type MinScheduler struct {
+	d     *DAG
+	indeg []int
+	h     intHeap
+}
+
+// NewMinScheduler starts an earliest-ready-gate-first traversal of d. The
+// ready set is a min-heap over gate index, preallocated so ready bursts
+// (wide layers) never reallocate.
+func (d *DAG) NewMinScheduler() *MinScheduler {
+	n := d.Len()
+	s := &MinScheduler{
+		d:     d,
+		indeg: make([]int, n),
+		h:     intHeap{a: make([]int, 0, n)},
+	}
+	copy(s.indeg, d.InDegree)
+	for i, deg := range s.indeg {
+		if deg == 0 {
+			s.h.push(i)
+		}
+	}
+	return s
+}
+
+// Next returns the next gate in the order and releases its dependents, or
+// -1 when no gate is ready (the traversal is done, or — for a cyclic
+// graph — stuck; callers detect cycles by counting yielded gates).
+func (s *MinScheduler) Next() int {
+	if s.h.len() == 0 {
+		return -1
+	}
+	u := s.h.pop()
+	for _, v := range s.d.Succs[u] {
+		s.indeg[v]--
+		if s.indeg[v] == 0 {
+			s.h.push(v)
+		}
+	}
+	return u
 }
 
 // Depth returns the length of the longest dependency chain (circuit depth

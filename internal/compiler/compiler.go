@@ -24,6 +24,12 @@
 // dependency sets are deduplicated through a three-entry scratch instead
 // of a per-op map. Qubit and dependency slices are carved from chunked
 // arenas, so emitting an op costs amortized zero allocations.
+//
+// The three decision heuristics — gate issue order, initial placement,
+// and shuttle routing/eviction — are policy seams (see policy.go): the
+// machinery in this file is policy-agnostic and delegates those choices
+// to the bundle selected by Options.Policy. baseline.go holds the
+// paper's heuristics, extracted verbatim.
 package compiler
 
 import (
@@ -52,6 +58,9 @@ type Options struct {
 	// chains speed up FM gates but use more inter-trap communication; the
 	// BenchmarkAblationMapping ablation quantifies the trade.
 	BalancedMapping bool
+	// Policy selects the registered policy bundle (gate order, placement,
+	// routing). The zero value is the baseline — the paper's heuristics.
+	Policy models.PolicyName
 }
 
 // DefaultOptions returns the paper's configuration: GS reordering and two
@@ -80,20 +89,29 @@ func Compile(c *circuit.Circuit, d *device.Device, opts Options) (*isa.Program, 
 		return nil, fmt.Errorf("compiler: %d qubits exceed device capacity %d (%s)",
 			c.NumQubits, d.MaxIons(), d.Name)
 	}
+	bundle, err := Lookup(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
 	cc := &compilation{
 		circ:   c,
 		dev:    d,
 		opts:   opts,
 		router: device.NewRouter(d, opts.RouteCosts),
+		order:  bundle.NewOrder(),
+		route:  bundle.NewRoute(),
 		trapOf: make([]int, c.NumQubits),
 		qSlot:  make([]int, c.NumQubits),
 	}
+	cc.observer, _ = cc.route.(ShuttleObserver)
 	// Across the paper suite the op list runs 1.05-1.25× the gate count
 	// (communication ops are amortized by multi-gate stays); seeding at
 	// 1.5× absorbs nearly all growth-copy churn without zeroing memory
 	// that shuttle-light workloads never touch.
 	cc.ops = make([]isa.Op, 0, 3*len(c.Gates)/2+16)
-	cc.mapQubits()
+	if err := cc.mapQubits(bundle.NewPlace()); err != nil {
+		return nil, err
+	}
 	if err := cc.run(); err != nil {
 		return nil, err
 	}
@@ -131,12 +149,17 @@ func (c *trapChain) slotAt(i int) int {
 // at returns the qubit at chain position i.
 func (c *trapChain) at(i int) int { return c.buf[c.slotAt(i)] }
 
-// compilation holds the mutable state of one Compile call.
+// compilation holds the mutable state of one Compile call. It implements
+// State (see state.go), the read-only view the policy seams consult.
 type compilation struct {
 	circ   *circuit.Circuit
 	dev    *device.Device
 	opts   Options
 	router *device.Router
+
+	order    GateOrderPolicy
+	route    RoutePolicy
+	observer ShuttleObserver // route, if it observes shuttles; else nil
 
 	chains        []trapChain // per trap: live chain (0 = left end)
 	trapOf        []int       // qubit -> trap (-1 while in transit)
@@ -182,41 +205,53 @@ func (cc *compilation) qubits2(a, b int) []int {
 	return s
 }
 
-// mapQubits places qubits into traps in first-use order, filling each trap
-// to capacity minus the buffer slots (§VI).
-func (cc *compilation) mapQubits() {
+// mapQubits asks the placement policy for the initial qubit→trap layout,
+// validates it (every program qubit exactly once, no chain over capacity),
+// and installs it into the compilation's chain structures and use lists.
+func (cc *compilation) mapQubits(place PlacementPolicy) error {
 	c, d := cc.circ, cc.dev
-	buffer := cc.opts.BufferSlots
-	if perTrap := (d.MaxIons() - c.NumQubits) / d.NumTraps(); buffer > perTrap {
-		buffer = perTrap
+	layout, err := place.Place(c, d, cc.opts)
+	if err != nil {
+		return fmt.Errorf("compiler: placement: %w", err)
 	}
-	if buffer > d.Capacity-1 {
-		buffer = d.Capacity - 1
+	if len(layout) != d.NumTraps() {
+		return fmt.Errorf("compiler: placement returned %d chains for %d traps",
+			len(layout), d.NumTraps())
 	}
-	if buffer < 0 {
-		buffer = 0
-	}
-	usable := d.Capacity - buffer
-	if cc.opts.BalancedMapping {
-		if even := (c.NumQubits + d.NumTraps() - 1) / d.NumTraps(); even < usable {
-			usable = even
+	seen := make([]bool, c.NumQubits)
+	placed := 0
+	for t, chain := range layout {
+		if len(chain) > d.Capacity {
+			return fmt.Errorf("compiler: placement overfills trap %d: %d ions, capacity %d",
+				t, len(chain), d.Capacity)
 		}
+		for _, q := range chain {
+			if q < 0 || q >= c.NumQubits {
+				return fmt.Errorf("compiler: placement names unknown qubit %d", q)
+			}
+			if seen[q] {
+				return fmt.Errorf("compiler: placement assigns qubit %d twice", q)
+			}
+			seen[q] = true
+			placed++
+		}
+	}
+	if placed != c.NumQubits {
+		return fmt.Errorf("compiler: placement placed %d of %d qubits", placed, c.NumQubits)
 	}
 	cc.chains = make([]trapChain, d.NumTraps())
 	for t := range cc.chains {
 		cc.chains[t].buf = make([]int, d.Capacity)
 	}
-	trap := 0
-	for _, q := range c.FirstUseOrder() {
-		for cc.chains[trap].n >= usable {
-			trap++
+	for t, chain := range layout {
+		ch := &cc.chains[t]
+		for _, q := range chain {
+			slot := ch.slotAt(ch.n)
+			ch.buf[slot] = q
+			ch.n++
+			cc.trapOf[q] = t
+			cc.qSlot[q] = slot
 		}
-		ch := &cc.chains[trap]
-		slot := ch.slotAt(ch.n)
-		ch.buf[slot] = q
-		ch.n++
-		cc.trapOf[q] = trap
-		cc.qSlot[q] = slot
 	}
 	cc.initialLayout = make([][]int, d.NumTraps())
 	for t := range cc.chains {
@@ -263,16 +298,21 @@ func (cc *compilation) mapQubits() {
 		}
 	}
 	cc.useCounts = make([]int, c.NumQubits)
+	return nil
 }
 
-// run processes gates in earliest-ready-first order, emitting ops.
+// run emits ops gate by gate in the order the gate-order policy yields
+// (the baseline is earliest-ready-first). The schedule is consumed
+// incrementally so the policy sees the placement as it evolves.
 func (cc *compilation) run() error {
 	dag := circuit.BuildDAG(cc.circ)
-	order, ok := dag.TopoOrder()
-	if !ok {
-		return fmt.Errorf("compiler: dependency graph has a cycle")
-	}
-	for _, gi := range order {
+	sched := cc.order.NewSchedule(cc.circ, dag, cc)
+	emitted := 0
+	for gi := sched.Next(); gi >= 0; gi = sched.Next() {
+		if gi >= len(cc.circ.Gates) {
+			return fmt.Errorf("compiler: schedule yielded gate %d of %d", gi, len(cc.circ.Gates))
+		}
+		emitted++
 		g := cc.circ.Gates[gi]
 		switch {
 		case g.Kind == circuit.GateBarrier:
@@ -298,17 +338,21 @@ func (cc *compilation) run() error {
 			return fmt.Errorf("compiler: gate %d: unsupported kind %s", gi, g.Kind)
 		}
 	}
+	if emitted != len(cc.circ.Gates) {
+		return fmt.Errorf("compiler: dependency graph has a cycle")
+	}
 	return nil
 }
 
 // twoQubit co-locates the operands (shuttling one of them if needed) and
-// emits the entangling gate.
+// emits the entangling gate. Which operand moves is the route policy's
+// call: the cheaper-scoring direction wins, ties moving the first operand.
 func (cc *compilation) twoQubit(gi int, g circuit.Gate) error {
 	a, b := g.Qubits[0], g.Qubits[1]
 	ta, tb := cc.trapOf[a], cc.trapOf[b]
 	if ta != tb {
 		mover, src, dst := a, ta, tb
-		if cc.moveCost(b, tb, ta) < cc.moveCost(a, ta, tb) {
+		if cc.route.MoveCost(cc, b, tb, ta) < cc.route.MoveCost(cc, a, ta, tb) {
 			mover, src, dst = b, tb, ta
 		}
 		if err := cc.shuttle(mover, src, dst, gi, 0, []int{a, b}); err != nil {
@@ -320,42 +364,6 @@ func (cc *compilation) twoQubit(gi int, g circuit.Gate) error {
 		Gate: g.Kind, Param: g.Param, GateIndex: gi,
 	}, false)
 	return nil
-}
-
-// moveCost scores shuttling qubit mover from src into dst: route distance,
-// plus the chain-reordering work needed to bring the mover to the exit
-// end (one SWAP for GS, per-position hops for IS — reorders are expensive
-// in both fidelity and heat, so movers already sitting at the correct
-// chain end are strongly preferred), plus a large penalty when the
-// destination is full and would force an eviction.
-func (cc *compilation) moveCost(mover, src, dst int) float64 {
-	dist, err := cc.router.Distance(src, dst)
-	if err != nil {
-		return 1e18
-	}
-	route, err := cc.router.Route(src, dst)
-	if err != nil {
-		return 1e18
-	}
-	if steps := cc.reorderSteps(mover, src, route.SrcEnd); steps > 0 {
-		if cc.opts.Reorder == models.GS {
-			dist += 10
-		} else {
-			dist += 5 * float64(steps)
-		}
-	}
-	// Graded occupancy penalty: steering gates away from nearly-full
-	// destinations avoids eviction churn, which costs far more (a full
-	// shuttle plus usually a reorder) than routing the other operand.
-	switch free := cc.dev.Capacity - cc.chains[dst].n; {
-	case free <= 0:
-		dist += 1e6
-	case free == 1:
-		dist += 24
-	case free == 2:
-		dist += 8
-	}
-	return dist
 }
 
 // reorderSteps returns how many positions separate qubit q from the given
@@ -389,6 +397,15 @@ func (cc *compilation) shuttle(q, src, dst, gi, depth int, keep []int) error {
 	routeTraps := []int{dst}
 	for _, tr := range route.PassThroughs() {
 		routeTraps = append(routeTraps, tr.Trap)
+	}
+	if cc.observer != nil {
+		arrivals := make([]int, 0, len(routeTraps))
+		for _, hop := range route.Hops {
+			if hop.Node.Kind == device.NodeTrap {
+				arrivals = append(arrivals, hop.Node.Index)
+			}
+		}
+		cc.observer.ObserveShuttle(cc, q, src, dst, arrivals)
 	}
 	protected := make([]int, 0, len(keep)+1)
 	protected = append(protected, keep...)
@@ -436,29 +453,16 @@ func (cc *compilation) shuttle(q, src, dst, gi, depth int, keep []int) error {
 	return nil
 }
 
-// evictOne moves one ion out of full trap t to make room. The victim is
-// the resident qubit with the farthest next use (Belady's rule); it is
-// sent to the nearest trap with room, preferring traps outside softAvoid.
+// evictOne moves one ion out of full trap t to make room. The route
+// policy picks both the victim (the baseline uses Belady's farthest-next-
+// use rule) and its destination (baseline: nearest trap with room,
+// preferring traps outside softAvoid — the remaining shuttle route).
 func (cc *compilation) evictOne(t int, softAvoid []int, depth int, keep []int) error {
-	victim, victimUse := -1, -1
-	ch := &cc.chains[t]
-	for i := 0; i < ch.n; i++ {
-		q := ch.at(i)
-		if contains(keep, q) {
-			continue
-		}
-		if use := cc.nextUse(q); use > victimUse {
-			victimUse = use
-			victim = q
-		}
-	}
+	victim := cc.route.PickVictim(cc, t, keep)
 	if victim < 0 {
 		return fmt.Errorf("trap %d full and nothing evictable", t)
 	}
-	dest := cc.nearestSpace(t, softAvoid)
-	if dest < 0 {
-		dest = cc.nearestSpace(t, nil)
-	}
+	dest := cc.route.PickEvictionDest(cc, t, softAvoid)
 	if dest < 0 {
 		return fmt.Errorf("device full: no trap has room to rebalance from trap %d", t)
 	}
@@ -474,25 +478,6 @@ func (cc *compilation) nextUse(q int) int {
 		return 1 << 30
 	}
 	return uses[cc.useCounts[q]]
-}
-
-// nearestSpace returns the trap with free capacity closest to t that is
-// not in the avoid set, or -1 when none exists.
-func (cc *compilation) nearestSpace(t int, avoid []int) int {
-	best, bestDist := -1, 0.0
-	for cand := 0; cand < cc.dev.NumTraps(); cand++ {
-		if cand == t || cc.chains[cand].n >= cc.dev.Capacity || contains(avoid, cand) {
-			continue
-		}
-		dist, err := cc.router.Distance(t, cand)
-		if err != nil {
-			continue
-		}
-		if best < 0 || dist < bestDist {
-			best, bestDist = cand, dist
-		}
-	}
-	return best
 }
 
 func contains(xs []int, x int) bool {

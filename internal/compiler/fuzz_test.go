@@ -1,0 +1,56 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// FuzzPolicyParse drives policy-name parsing with arbitrary strings.
+// Policy names arrive from every untrusted edge of the system — CLI
+// flags, /v1/run point JSON, sweep-grammar "policies" axes — so
+// ParsePolicy must never panic, and anything it accepts must be a
+// canonical, registered, fully-implemented bundle that survives a
+// String() round trip.
+func FuzzPolicyParse(f *testing.F) {
+	seeds := []string{
+		"", "baseline", "BASELINE", "Baseline", "lookahead", "congestion",
+		"@", "policy@2", "base line", " baseline", "baseline\n",
+		"naïve", "ポリシー", "\x00", strings.Repeat("a", 1024),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		pol, err := models.ParsePolicy(name)
+		if err != nil {
+			// Rejected names must also fail bundle lookup: the two entry
+			// points may never disagree about validity.
+			if _, lerr := Lookup(models.PolicyName(name)); lerr == nil {
+				t.Fatalf("ParsePolicy(%q) rejected but Lookup accepted", name)
+			}
+			return
+		}
+		// Accepted names parse to a canonical value: round-tripping the
+		// display form must be the identity.
+		rt, err := models.ParsePolicy(pol.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) = %q, but reparse failed: %v", name, pol, err)
+		}
+		if rt != pol {
+			t.Fatalf("ParsePolicy(%q) = %q, reparse = %q", name, pol, rt)
+		}
+		// Every accepted policy must have a complete registered bundle.
+		b, err := Lookup(pol)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) accepted but Lookup failed: %v", name, err)
+		}
+		if b.NewOrder == nil || b.NewPlace == nil || b.NewRoute == nil {
+			t.Fatalf("bundle %q is incomplete", b.Name)
+		}
+		if !models.PolicyRegistered(pol) {
+			t.Fatalf("parsed policy %q not in registry", pol)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestLookup(t *testing.T) {
+	for _, spelling := range []string{"", "baseline", "BASELINE"} {
+		b, err := Lookup(models.PolicyName(spelling))
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", spelling, err)
+		}
+		if b.Name != models.PolicyBaseline {
+			t.Errorf("Lookup(%q).Name = %q", spelling, b.Name)
+		}
+	}
+	for _, name := range []string{"lookahead", "CONGESTION"} {
+		b, err := Lookup(models.PolicyName(name))
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if b.NewOrder == nil || b.NewPlace == nil || b.NewRoute == nil {
+			t.Errorf("Lookup(%q) bundle incomplete", name)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil || !strings.Contains(err.Error(), "unknown compiler policy") {
+		t.Errorf("Lookup(nope) error = %v", err)
+	}
+	// A name claimed in the models registry without a compiler bundle is
+	// parseable but not compilable; Lookup must say so distinctly.
+	models.RegisterPolicy("zz-ghost", "registered with no implementation")
+	if _, err := Lookup("zz-ghost"); err == nil || !strings.Contains(err.Error(), "no registered implementation") {
+		t.Errorf("Lookup(zz-ghost) error = %v", err)
+	}
+}
+
+func TestPoliciesOrdering(t *testing.T) {
+	bundles := Policies()
+	if len(bundles) < 3 {
+		t.Fatalf("Policies() = %d bundles, want >= 3", len(bundles))
+	}
+	if bundles[0].Name != models.PolicyBaseline {
+		t.Fatalf("Policies()[0] = %q, want baseline", bundles[0].Name)
+	}
+	for i := 2; i < len(bundles); i++ {
+		if bundles[i-1].Name >= bundles[i].Name {
+			t.Fatalf("Policies() not sorted after baseline: %q >= %q", bundles[i-1].Name, bundles[i].Name)
+		}
+	}
+	for _, b := range bundles {
+		if b.Description == "" {
+			t.Errorf("bundle %q has no description", b.Name)
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(b Bundle, why string) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%q) did not panic (%s)", b.Name, why)
+			}
+		}()
+		Register(b)
+	}
+	complete := func(name string) Bundle {
+		return Bundle{
+			Name:        name,
+			Description: "d",
+			NewOrder:    func() GateOrderPolicy { return baselineOrder{} },
+			NewPlace:    func() PlacementPolicy { return baselinePlace{} },
+			NewRoute:    func() RoutePolicy { return baselineRoute{} },
+		}
+	}
+	mustPanic(Bundle{}, "empty bundle")
+	b := complete("zz-noorder")
+	b.NewOrder = nil
+	mustPanic(b, "missing order factory")
+	mustPanic(complete(models.PolicyBaseline), "duplicate name")
+}

@@ -1,0 +1,69 @@
+package compiler
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// compilation implements State — the read-only live view the policy seams
+// consult. These accessors are the only surface policies get; they cannot
+// mutate chains or emit ops.
+
+var _ State = (*compilation)(nil)
+
+// Circuit returns the program being compiled.
+func (cc *compilation) Circuit() *circuit.Circuit { return cc.circ }
+
+// Device returns the target hardware description.
+func (cc *compilation) Device() *device.Device { return cc.dev }
+
+// Options returns the compile options.
+func (cc *compilation) Options() Options { return cc.opts }
+
+// TrapOf returns the trap currently holding qubit q, or -1 in transit.
+func (cc *compilation) TrapOf(q int) int { return cc.trapOf[q] }
+
+// ChainLen returns the number of ions resident in trap t.
+func (cc *compilation) ChainLen(t int) int { return cc.chains[t].n }
+
+// FreeSlots returns the spare capacity of trap t.
+func (cc *compilation) FreeSlots(t int) int { return cc.dev.Capacity - cc.chains[t].n }
+
+// ChainQubit returns the qubit at chain position i of trap t (0 = left).
+func (cc *compilation) ChainQubit(t, i int) int { return cc.chains[t].at(i) }
+
+// ReorderSteps returns how many positions separate resident qubit q from
+// the given end of trap t's chain.
+func (cc *compilation) ReorderSteps(q, t int, end device.End) int {
+	return cc.reorderSteps(q, t, end)
+}
+
+// NextUse returns the next gate index that will use q, or a large sentinel
+// when q is never used again.
+func (cc *compilation) NextUse(q int) int { return cc.nextUse(q) }
+
+// FutureUses returns the gate indices still to be emitted on q, in program
+// order. The returned slice aliases live compiler state: read it within
+// the policy callback, do not retain it.
+func (cc *compilation) FutureUses(q int) []int {
+	return cc.useLists[q][cc.useCounts[q]:]
+}
+
+// Distance returns the routed shuttle distance between two traps.
+func (cc *compilation) Distance(src, dst int) (float64, error) {
+	return cc.router.Distance(src, dst)
+}
+
+// RouteSrcEnd returns which end of src's chain the route to dst departs
+// from.
+func (cc *compilation) RouteSrcEnd(src, dst int) (device.End, error) {
+	route, err := cc.router.Route(src, dst)
+	if err != nil {
+		return device.Left, err
+	}
+	return route.SrcEnd, nil
+}
+
+// OpsEmitted returns how many ops have been emitted so far — the
+// compile-time clock congestion decay runs on.
+func (cc *compilation) OpsEmitted() int { return len(cc.ops) }

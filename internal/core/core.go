@@ -38,11 +38,21 @@ type Point struct {
 	Gate models.GateImpl
 	// Reorder selects the chain reordering method.
 	Reorder models.ReorderMethod
+	// Policy selects the compiler policy bundle. The zero value is the
+	// baseline (the paper's heuristics): a zero-policy Point is identical
+	// — in struct equality, String, wire format and cache key — to a Point
+	// from before the policy axis existed.
+	Policy models.PolicyName
 }
 
-// String renders the point compactly, e.g. "QFT/L6/cap22/FM-GS".
+// String renders the point compactly, e.g. "QFT/L6/cap22/FM-GS"; a
+// non-baseline policy appends a segment, e.g. ".../FM-GS/lookahead".
 func (p Point) String() string {
-	return fmt.Sprintf("%s/%s/cap%d/%s-%s", p.App, p.Topology, p.Capacity, p.Gate, p.Reorder)
+	s := fmt.Sprintf("%s/%s/cap%d/%s-%s", p.App, p.Topology, p.Capacity, p.Gate, p.Reorder)
+	if !p.Policy.IsBaseline() {
+		s += "/" + p.Policy.String()
+	}
+	return s
 }
 
 // Outcome pairs a design point with its simulation result or error.
@@ -158,6 +168,7 @@ func (tf *Toolflow) compute(pt Point) Outcome {
 	}
 	opts := compiler.DefaultOptions()
 	opts.Reorder = pt.Reorder
+	opts.Policy = pt.Policy
 	prog, err := compiler.Compile(c, dev, opts)
 	if err != nil {
 		return Outcome{Point: pt, Err: fmt.Errorf("%s: %w", pt, err)}

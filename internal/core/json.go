@@ -20,22 +20,30 @@ type pointJSON struct {
 	Capacity int    `json:"capacity"`
 	Gate     string `json:"gate,omitempty"`
 	Reorder  string `json:"reorder,omitempty"`
+	Policy   string `json:"policy,omitempty"`
 }
 
-// MarshalJSON encodes the point with gate and reorder as paper names.
+// MarshalJSON encodes the point with gate and reorder as paper names. The
+// baseline policy is omitted entirely, keeping pre-policy wire output
+// byte-identical.
 func (p Point) MarshalJSON() ([]byte, error) {
-	return json.Marshal(pointJSON{
+	j := pointJSON{
 		App:      p.App,
 		Topology: p.Topology,
 		Capacity: p.Capacity,
 		Gate:     p.Gate.String(),
 		Reorder:  p.Reorder.String(),
-	})
+	}
+	if !p.Policy.IsBaseline() {
+		j.Policy = p.Policy.String()
+	}
+	return json.Marshal(j)
 }
 
 // UnmarshalJSON decodes a point, rejecting unknown fields so a typo'd
 // key fails loudly instead of silently running a default. Omitted gate
-// and reorder fields default to the paper's FM / GS microarchitecture.
+// and reorder fields default to the paper's FM / GS microarchitecture; an
+// omitted policy is the baseline.
 func (p *Point) UnmarshalJSON(data []byte) error {
 	var raw pointJSON
 	dec := json.NewDecoder(bytes.NewReader(data))
@@ -57,7 +65,11 @@ func (p *Point) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
-	*p = Point{App: raw.App, Topology: raw.Topology, Capacity: raw.Capacity, Gate: gate, Reorder: reorder}
+	policy, err := models.ParsePolicy(raw.Policy)
+	if err != nil {
+		return err
+	}
+	*p = Point{App: raw.App, Topology: raw.Topology, Capacity: raw.Capacity, Gate: gate, Reorder: reorder, Policy: policy}
 	return nil
 }
 
@@ -81,6 +93,9 @@ func (p Point) Validate() error {
 	}
 	if p.Capacity < 1 {
 		return fmt.Errorf("core: point: capacity must be >= 1, got %d", p.Capacity)
+	}
+	if _, err := models.ParsePolicy(string(p.Policy)); err != nil {
+		return fmt.Errorf("core: point: %w", err)
 	}
 	return nil
 }
@@ -117,6 +132,9 @@ func (o *Outcome) UnmarshalJSON(data []byte) error {
 }
 
 // AppendCanonical writes the point's identity into c in a fixed order.
+// The baseline policy appends nothing, so baseline hashes and cache keys
+// are unchanged from before the policy axis existed — a warm cache stays
+// warm across the upgrade.
 func (p Point) AppendCanonical(c *models.Canon) {
 	c.Str("point", "v1")
 	c.Str("app", p.App)
@@ -124,6 +142,9 @@ func (p Point) AppendCanonical(c *models.Canon) {
 	c.Int("capacity", p.Capacity)
 	c.Str("gate", p.Gate.String())
 	c.Str("reorder", p.Reorder.String())
+	if !p.Policy.IsBaseline() {
+		c.Str("policy", p.Policy.String())
+	}
 }
 
 // Hash returns a hex SHA-256 content hash of the point.

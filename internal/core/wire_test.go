@@ -98,6 +98,72 @@ func TestOutcomeJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPointPolicyWireInvariance pins the compatibility contract of the
+// policy axis: a baseline point is byte-identical on the wire, in String
+// and in its cache key to a point that predates the field, so golden
+// results and warm caches survive the policy layer's introduction.
+func TestPointPolicyWireInvariance(t *testing.T) {
+	base := models.Default()
+	pre := Point{App: "QFT", Topology: "L6", Capacity: 22, Gate: models.FM, Reorder: models.GS}
+	data, err := json.Marshal(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "policy") {
+		t.Errorf("baseline point json %s mentions policy", data)
+	}
+	if strings.Contains(pre.String(), "baseline") {
+		t.Errorf("baseline point String() = %q mentions policy", pre.String())
+	}
+
+	// Decoding an explicit "baseline" normalizes to the zero value, so the
+	// struct compares equal to the implicit form and shares its cache key.
+	var spelled Point
+	if err := json.Unmarshal([]byte(`{"app":"QFT","topology":"L6","capacity":22,"policy":"BASELINE"}`), &spelled); err != nil {
+		t.Fatal(err)
+	}
+	if spelled != pre {
+		t.Errorf("explicit baseline decoded to %+v, want %+v", spelled, pre)
+	}
+	if CacheKey(spelled, base) != CacheKey(pre, base) {
+		t.Error("explicit and implicit baseline must share cache keys")
+	}
+
+	// Non-baseline policies round-trip, render in String, and key apart.
+	alt := pre
+	alt.Policy = "lookahead"
+	data, err = json.Marshal(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"policy":"lookahead"`) {
+		t.Errorf("json %s missing policy field", data)
+	}
+	var back Point
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != alt {
+		t.Errorf("round trip = %+v, want %+v", back, alt)
+	}
+	if !strings.Contains(alt.String(), "lookahead") {
+		t.Errorf("String() = %q missing policy", alt.String())
+	}
+	if CacheKey(alt, base) == CacheKey(pre, base) {
+		t.Error("policy change must change the cache key")
+	}
+
+	// Unknown policies fail at decode and at validation.
+	if err := json.Unmarshal([]byte(`{"app":"BV","topology":"L6","capacity":20,"policy":"nope"}`), &back); err == nil {
+		t.Error("bad policy should fail to decode")
+	}
+	bad := pre
+	bad.Policy = "nope"
+	if err := bad.Validate(); err == nil {
+		t.Error("bad policy should fail validation")
+	}
+}
+
 func TestCacheKeySensitivity(t *testing.T) {
 	base := models.Default()
 	pt := Point{App: "QFT", Topology: "L6", Capacity: 22, Gate: models.FM, Reorder: models.GS}

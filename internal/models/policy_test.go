@@ -1,0 +1,90 @@
+package models
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	// The models package on its own registers only the baseline; the
+	// alternative bundles live in internal/compiler, which this package
+	// must not import.
+	for _, spelling := range []string{"", "baseline", "BASELINE", "Baseline"} {
+		pol, err := ParsePolicy(spelling)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", spelling, err)
+		}
+		if pol != "" {
+			t.Errorf("ParsePolicy(%q) = %q, want canonical zero value", spelling, pol)
+		}
+		if !pol.IsBaseline() {
+			t.Errorf("ParsePolicy(%q).IsBaseline() = false", spelling)
+		}
+		if pol.String() != PolicyBaseline {
+			t.Errorf("ParsePolicy(%q).String() = %q", spelling, pol.String())
+		}
+	}
+	for _, bad := range []string{"nope", " baseline", "baseline ", "base\nline", "@"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "unknown compiler policy") {
+			t.Errorf("ParsePolicy(%q) error = %v, want unknown-policy message", bad, err)
+		}
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	// Before registration the name is unknown...
+	if PolicyRegistered("zz-extra") {
+		t.Fatal("zz-extra registered before RegisterPolicy")
+	}
+	// ...after, it parses to its lowercase canonical form and shows up in
+	// the sorted listing behind the baseline.
+	RegisterPolicy("zz-extra", "test-only policy")
+	pol, err := ParsePolicy("ZZ-Extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol != "zz-extra" || pol.IsBaseline() {
+		t.Fatalf("ParsePolicy(ZZ-Extra) = %q", pol)
+	}
+	infos := Policies()
+	if infos[0].Name != PolicyBaseline {
+		t.Fatalf("Policies()[0] = %q, want baseline", infos[0].Name)
+	}
+	for i := 2; i < len(infos); i++ {
+		if infos[i-1].Name >= infos[i].Name {
+			t.Fatalf("Policies() not sorted after baseline: %q >= %q", infos[i-1].Name, infos[i].Name)
+		}
+	}
+	found := false
+	for _, info := range infos {
+		if info.Name == "zz-extra" {
+			found = true
+			if info.Description != "test-only policy" {
+				t.Errorf("description = %q", info.Description)
+			}
+		}
+	}
+	if !found {
+		t.Error("zz-extra missing from Policies()")
+	}
+}
+
+func TestRegisterPolicyPanics(t *testing.T) {
+	mustPanic := func(name, desc, why string) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("RegisterPolicy(%q) did not panic (%s)", name, why)
+			}
+		}()
+		RegisterPolicy(name, desc)
+	}
+	mustPanic("", "d", "empty name")
+	mustPanic("Upper", "d", "uppercase")
+	mustPanic("9lives", "d", "leading digit")
+	mustPanic("has space", "d", "space")
+	mustPanic("-dash", "d", "leading dash")
+	mustPanic(PolicyBaseline, "d", "duplicate")
+}

@@ -15,6 +15,7 @@
 //	GET  /v1/apps        list the built-in Table II benchmarks and the
 //	                     sized "<app>@<n>" form
 //	GET  /v1/topologies  describe the device spec grammar with examples
+//	GET  /v1/policies    list the registered compiler policy bundles
 //	GET  /v1/params      return the server's base physical parameters
 //	GET  /healthz        liveness plus cache statistics
 //
@@ -148,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	mux.HandleFunc("GET /v1/apps", s.handleApps)
 	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /v1/params", s.handleParams)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -503,6 +505,17 @@ func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// PoliciesResponse is the body of GET /v1/policies: every registered
+// compiler policy bundle, baseline first, each usable as a point's
+// "policy" field or a sweep's "policies" axis value.
+type PoliciesResponse struct {
+	Policies []models.PolicyInfo `json:"policies"`
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, PoliciesResponse{Policies: models.Policies()})
 }
 
 func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {

@@ -111,6 +111,8 @@ func TestBadRequests(t *testing.T) {
 		{"typo in nested point field", "/v1/run", `{"point":{"app":"BV","topology":"L6","capacity":20,"reorderr":"IS"}}`},
 		{"typo in nested params field", "/v1/run", `{"point":{"app":"BV","topology":"L6","capacity":20},"params":{"gate":"FM","bogus":1}}`},
 		{"bad gate name", "/v1/run", `{"point":{"app":"BV","topology":"L6","capacity":20,"gate":"ZZ"}}`},
+		{"unknown policy", "/v1/run", `{"point":{"app":"BV","topology":"L6","capacity":20,"policy":"nope"}}`},
+		{"unknown policy in sweep point", "/v1/sweep", `{"points":[{"app":"BV","topology":"L6","capacity":20,"policy":"nope"}]}`},
 		{"zero capacity", "/v1/run", `{"point":{"app":"BV","topology":"L6"}}`},
 		{"incomplete params", "/v1/run", `{"point":{"app":"BV","topology":"L6","capacity":20},"params":{"gate":"FM"}}`},
 		{"empty sweep", "/v1/sweep", `{"points":[]}`},
@@ -298,6 +300,30 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	for _, ex := range topos.Examples {
 		if ex.Traps <= 0 || ex.MaxIons <= 0 {
 			t.Errorf("example %+v not parsed", ex)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := decodeBody[PoliciesResponse](t, resp)
+	if len(pols.Policies) < 3 {
+		t.Fatalf("policies = %+v, want at least baseline+lookahead+congestion", pols.Policies)
+	}
+	if pols.Policies[0].Name != "baseline" {
+		t.Errorf("first policy = %q, want baseline", pols.Policies[0].Name)
+	}
+	polNames := map[string]bool{}
+	for _, p := range pols.Policies {
+		polNames[p.Name] = true
+		if p.Name == "" || p.Description == "" {
+			t.Errorf("policy %+v missing name or description", p)
+		}
+	}
+	for _, want := range []string{"baseline", "lookahead", "congestion"} {
+		if !polNames[want] {
+			t.Errorf("missing policy %s", want)
 		}
 	}
 

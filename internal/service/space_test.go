@@ -117,6 +117,63 @@ func TestSpaceSweepStreamsInOrderWithCursors(t *testing.T) {
 	}
 }
 
+// TestSpaceSweepPoliciesAxis sweeps the policy axis: rows must stream in
+// expansion order with policies varying fastest, carry working resume
+// cursors, and every policy must produce a real result on every
+// configuration.
+func TestSpaceSweepPoliciesAxis(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"space":{
+		"apps": ["BV@6"],
+		"topologies": ["L2", "L3"],
+		"capacities": [14],
+		"policies": ["baseline", "lookahead", "congestion"]
+	}}`
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	header, rows, summary := ndjson(t, resp.Body)
+	if header == nil || summary == nil || len(rows) != 6 {
+		t.Fatalf("header = %v, rows = %d, summary = %v", header, len(rows), summary)
+	}
+	wantPolicies := []string{"", "lookahead", "congestion"} // baseline marshals as omitted
+	for i, row := range rows {
+		if row.Seq != i {
+			t.Errorf("row %d has seq %d", i, row.Seq)
+		}
+		if got, want := string(row.Point.Policy), wantPolicies[i%3]; got != want {
+			t.Errorf("row %d policy = %q, want %q (policy axis varies fastest)", i, got, want)
+		}
+		if row.Error != "" || row.Result == nil || row.Result.Fidelity <= 0 {
+			t.Errorf("row %d = %+v", i, row)
+		}
+		if row.Cursor == "" {
+			t.Errorf("row %d missing cursor", i)
+		}
+	}
+
+	// Resume from the cursor after row 2: exactly rows 3..5 remain, same
+	// points as the full stream.
+	resumeBody := strings.TrimSuffix(strings.TrimSpace(body), "}") + `,"resume_from":"` + rows[2].Cursor + `"}`
+	resp = postJSON(t, ts.URL+"/v1/sweep", resumeBody)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume status = %d", resp.StatusCode)
+	}
+	_, rest, restSummary := ndjson(t, resp.Body)
+	if len(rest) != 3 || restSummary == nil || restSummary.NextCursor != "" {
+		t.Fatalf("resumed rows = %d, summary = %+v", len(rest), restSummary)
+	}
+	for i, row := range rest {
+		if row.Seq != i+3 || row.Point != rows[i+3].Point {
+			t.Errorf("resumed row %d = seq %d %+v, want seq %d %+v",
+				i, row.Seq, row.Point, i+3, rows[i+3].Point)
+		}
+	}
+}
+
 func getOK(t *testing.T, url string) *http.Response {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -348,6 +405,8 @@ func TestSpaceSweepBadRequests(t *testing.T) {
 		{"zero capacity", `{"space":{"apps":["BV"],"topologies":["L2"],"capacities":[0]}}`},
 		{"duplicate capacity", `{"space":{"apps":["BV"],"topologies":["L2"],"capacities":[14,14]}}`},
 		{"bad gate", `{"space":{"apps":["BV"],"topologies":["L2"],"capacities":[14],"gates":["ZZ"]}}`},
+		{"bad policy", `{"space":{"apps":["BV"],"topologies":["L2"],"capacities":[14],"policies":["nope"]}}`},
+		{"duplicate policy", `{"space":{"apps":["BV"],"topologies":["L2"],"capacities":[14],"policies":["baseline","BASELINE"]}}`},
 		{"unknown space field", `{"space":{"apps":["BV"],"topologies":["L2"],"capacities":[14],"bogus":1}}`},
 		{"negative limit", `{"space":` + testSpaceBody + `,"limit":-1}`},
 		{"garbage cursor", `{"space":` + testSpaceBody + `,"resume_from":"garbage!!"}`},

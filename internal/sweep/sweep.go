@@ -1,7 +1,8 @@
 // Package sweep implements the server-side design-space sweep grammar: a
 // compact cross-product description of design points (apps × topologies ×
-// capacities × gates × reorder methods) that is validated up front and
-// expanded lazily, one point at a time, in a stable total order.
+// capacities × gates × reorder methods × compiler policies) that is
+// validated up front and expanded lazily, one point at a time, in a
+// stable total order.
 //
 // A Space is the wire-level grammar. Compiling it yields a Grid: the
 // validated, normalized form that can report its exact size, materialize
@@ -10,8 +11,10 @@
 // server O(1) memory per in-flight point, never O(grid).
 //
 // Expansion order is fixed and documented: apps vary slowest, then
-// topologies, then capacities, then gates, with reorder methods varying
-// fastest — the same nesting as the paper's evaluation grid. The order is
+// topologies, then capacities, then gates, then reorder methods, with
+// compiler policies varying fastest — the same nesting as the paper's
+// evaluation grid, with the policy axis innermost so adjacent points
+// compare policies on an otherwise identical configuration. The order is
 // part of the cursor contract: a cursor is (space identity, next index),
 // so resuming can neither skip nor duplicate points.
 package sweep
@@ -41,6 +44,8 @@ type Space struct {
 	Gates []string `json:"gates,omitempty"`
 	// Reorders lists chain reordering methods (default ["GS"]).
 	Reorders []string `json:"reorders,omitempty"`
+	// Policies lists compiler policy bundles (default ["baseline"]).
+	Policies []string `json:"policies,omitempty"`
 }
 
 // Grid is a compiled Space: validated, normalized, and ready for lazy
@@ -50,6 +55,7 @@ type Grid struct {
 	space    Space
 	gates    []models.GateImpl
 	reorders []models.ReorderMethod
+	policies []models.PolicyName
 	size     int64
 	hash     string
 }
@@ -109,44 +115,24 @@ func (s Space) Compile() (*Grid, error) {
 		seenTopos[key] = true
 	}
 
-	gateNames := s.Gates
-	if len(gateNames) == 0 {
-		gateNames = []string{models.FM.String()}
+	gates, gateNames, err := enumAxis(s.Gates, []string{models.FM.String()},
+		"gates", "gate", models.ParseGateImpl)
+	if err != nil {
+		return nil, err
 	}
-	gates := make([]models.GateImpl, 0, len(gateNames))
-	seenGates := make(map[models.GateImpl]bool, len(gateNames))
-	for i, name := range gateNames {
-		g, err := models.ParseGateImpl(name)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: space: gates[%d]: %w", i, err)
-		}
-		if seenGates[g] {
-			return nil, fmt.Errorf("sweep: space: duplicate gate %q", name)
-		}
-		seenGates[g] = true
-		gates = append(gates, g)
+	reorders, reorderNames, err := enumAxis(s.Reorders, []string{models.GS.String()},
+		"reorders", "reorder", models.ParseReorderMethod)
+	if err != nil {
+		return nil, err
 	}
-
-	reorderNames := s.Reorders
-	if len(reorderNames) == 0 {
-		reorderNames = []string{models.GS.String()}
-	}
-	reorders := make([]models.ReorderMethod, 0, len(reorderNames))
-	seenReorders := make(map[models.ReorderMethod]bool, len(reorderNames))
-	for i, name := range reorderNames {
-		r, err := models.ParseReorderMethod(name)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: space: reorders[%d]: %w", i, err)
-		}
-		if seenReorders[r] {
-			return nil, fmt.Errorf("sweep: space: duplicate reorder %q", name)
-		}
-		seenReorders[r] = true
-		reorders = append(reorders, r)
+	policies, policyNames, err := enumAxis(s.Policies, []string{models.PolicyBaseline},
+		"policies", "policy", models.ParsePolicy)
+	if err != nil {
+		return nil, err
 	}
 
 	size := int64(1)
-	for _, n := range []int{len(s.Apps), len(s.Topologies), len(s.Capacities), len(gates), len(reorders)} {
+	for _, n := range []int{len(s.Apps), len(s.Topologies), len(s.Capacities), len(gates), len(reorders), len(policies)} {
 		var ok bool
 		if size, ok = mul64(size, int64(n)); !ok {
 			return nil, errors.New("sweep: space: expansion size overflows int64")
@@ -160,18 +146,45 @@ func (s Space) Compile() (*Grid, error) {
 		// Store canonical spellings so the space hash (and therefore the
 		// cursor) does not depend on the client's capitalization or on
 		// whether the defaults were spelled out.
-		Gates:    make([]string, len(gates)),
-		Reorders: make([]string, len(reorders)),
+		Gates:    gateNames,
+		Reorders: reorderNames,
+		Policies: policyNames,
 	}
-	for i, g := range gates {
-		norm.Gates[i] = g.String()
-	}
-	for i, r := range reorders {
-		norm.Reorders[i] = r.String()
-	}
-	g := &Grid{space: norm, gates: gates, reorders: reorders, size: size}
+	g := &Grid{space: norm, gates: gates, reorders: reorders, policies: policies, size: size}
 	g.hash = g.computeHash()
 	return g, nil
+}
+
+// enumAxis validates one enumerated sweep axis: substitutes defaults when
+// the axis is empty, parses every name through parse, and rejects
+// duplicates after normalization (so "fm" and "FM", or "baseline" and
+// "BASELINE", collide). It returns the parsed values alongside their
+// canonical spellings for the normalized Space. The gates, reorders and
+// policies axes all compile through this one helper, so a future axis
+// inherits validation, normalization and error wording for free.
+func enumAxis[T interface {
+	comparable
+	fmt.Stringer
+}](names, defaults []string, plural, singular string, parse func(string) (T, error)) ([]T, []string, error) {
+	if len(names) == 0 {
+		names = defaults
+	}
+	vals := make([]T, 0, len(names))
+	canon := make([]string, 0, len(names))
+	seen := make(map[T]bool, len(names))
+	for i, name := range names {
+		v, err := parse(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: space: %s[%d]: %w", plural, i, err)
+		}
+		if seen[v] {
+			return nil, nil, fmt.Errorf("sweep: space: duplicate %s %q", singular, name)
+		}
+		seen[v] = true
+		vals = append(vals, v)
+		canon = append(canon, v.String())
+	}
+	return vals, canon, nil
 }
 
 // mul64 multiplies checking for int64 overflow.
@@ -221,20 +234,28 @@ func (g *Grid) computeHash() string {
 	for _, r := range g.space.Reorders {
 		c.Str("reorder", r)
 	}
+	c.Int("n_policies", len(g.space.Policies))
+	for _, p := range g.space.Policies {
+		c.Str("policy", p)
+	}
 	return c.Sum()
 }
 
 // PointAt materializes the i-th point of the expansion without touching
 // any other point. The total order is mixed-radix over the axes with
-// reorder fastest: index i decomposes as
+// policy fastest: index i decomposes as
 //
-//	i = ((((app·|T| + topo)·|C| + cap)·|G| + gate)·|R| + reorder)
+//	i = (((((app·|T| + topo)·|C| + cap)·|G| + gate)·|R| + reorder)·|P| + policy)
 //
-// matching the nesting of the paper's evaluation grid.
+// matching the nesting of the paper's evaluation grid with the policy
+// axis innermost.
 func (g *Grid) PointAt(i int64) core.Point {
 	if i < 0 || i >= g.size {
 		panic(fmt.Sprintf("sweep: point index %d out of range [0, %d)", i, g.size))
 	}
+	nP := int64(len(g.policies))
+	p := i % nP
+	i /= nP
 	nR := int64(len(g.reorders))
 	r := i % nR
 	i /= nR
@@ -253,5 +274,6 @@ func (g *Grid) PointAt(i int64) core.Point {
 		Capacity: g.space.Capacities[c],
 		Gate:     g.gates[gt],
 		Reorder:  g.reorders[r],
+		Policy:   g.policies[p],
 	}
 }

@@ -16,6 +16,7 @@ func testSpace() Space {
 		Capacities: []int{14, 18, 22},
 		Gates:      []string{"FM", "AM1"},
 		Reorders:   []string{"GS", "IS"},
+		Policies:   []string{"baseline", "lookahead"},
 	}
 }
 
@@ -41,20 +42,22 @@ func expand(g *Grid) []core.Point {
 func TestExpansionMatchesNestedLoops(t *testing.T) {
 	s := testSpace()
 	g := compile(t, s)
-	if g.Size() != 3*2*3*2*2 {
-		t.Fatalf("size = %d, want %d", g.Size(), 3*2*3*2*2)
+	if g.Size() != 3*2*3*2*2*2 {
+		t.Fatalf("size = %d, want %d", g.Size(), 3*2*3*2*2*2)
 	}
-	// Reference expansion: the documented nesting, reorder fastest.
+	// Reference expansion: the documented nesting, policy fastest.
 	var want []core.Point
 	for _, app := range s.Apps {
 		for _, topo := range s.Topologies {
 			for _, capacity := range s.Capacities {
 				for _, gate := range []models.GateImpl{models.FM, models.AM1} {
 					for _, reorder := range []models.ReorderMethod{models.GS, models.IS} {
-						want = append(want, core.Point{
-							App: app, Topology: topo, Capacity: capacity,
-							Gate: gate, Reorder: reorder,
-						})
+						for _, policy := range []models.PolicyName{"", "lookahead"} {
+							want = append(want, core.Point{
+								App: app, Topology: topo, Capacity: capacity,
+								Gate: gate, Reorder: reorder, Policy: policy,
+							})
+						}
 					}
 				}
 			}
@@ -88,9 +91,11 @@ func TestDefaultsAreFMGSAndHashInsensitiveToSpelling(t *testing.T) {
 	explicit := testSpace()
 	explicit.Gates = []string{"fm"}
 	explicit.Reorders = []string{"gs"}
+	explicit.Policies = []string{"BASELINE"}
 	defaulted := testSpace()
 	defaulted.Gates = nil
 	defaulted.Reorders = nil
+	defaulted.Policies = nil
 
 	ge := compile(t, explicit)
 	gd := compile(t, defaulted)
@@ -98,10 +103,10 @@ func TestDefaultsAreFMGSAndHashInsensitiveToSpelling(t *testing.T) {
 		t.Error("spelled-out lowercase defaults must hash like omitted defaults")
 	}
 	pt := gd.PointAt(0)
-	if pt.Gate != models.FM || pt.Reorder != models.GS {
-		t.Errorf("defaults = %s-%s, want FM-GS", pt.Gate, pt.Reorder)
+	if pt.Gate != models.FM || pt.Reorder != models.GS || !pt.Policy.IsBaseline() {
+		t.Errorf("defaults = %s-%s/%s, want FM-GS/baseline", pt.Gate, pt.Reorder, pt.Policy)
 	}
-	if norm := gd.Space(); norm.Gates[0] != "FM" || norm.Reorders[0] != "GS" {
+	if norm := gd.Space(); norm.Gates[0] != "FM" || norm.Reorders[0] != "GS" || norm.Policies[0] != "baseline" {
 		t.Errorf("normalized space = %+v", norm)
 	}
 }
@@ -115,6 +120,8 @@ func TestHashChangesWithAnyAxis(t *testing.T) {
 		func(s *Space) { s.Capacities = []int{14, 18, 26} },
 		func(s *Space) { s.Gates = []string{"FM"} },
 		func(s *Space) { s.Reorders = []string{"IS", "GS"} },
+		func(s *Space) { s.Policies = []string{"baseline"} },
+		func(s *Space) { s.Policies = []string{"lookahead", "baseline"} },
 	}
 	for i, m := range mutate {
 		s := testSpace()
@@ -231,6 +238,9 @@ func TestDegenerateSpacesRejected(t *testing.T) {
 		{"duplicate gate", func(s *Space) { s.Gates = []string{"FM", "fm"} }},
 		{"bad reorder", func(s *Space) { s.Reorders = []string{"XX"} }},
 		{"duplicate reorder", func(s *Space) { s.Reorders = []string{"GS", "gs"} }},
+		{"bad policy", func(s *Space) { s.Policies = []string{"nope"} }},
+		{"duplicate policy", func(s *Space) { s.Policies = []string{"baseline", "BASELINE"} }},
+		{"duplicate policy via empty alias", func(s *Space) { s.Policies = []string{"", "baseline"} }},
 	}
 	for _, tc := range cases {
 		s := testSpace()

@@ -64,6 +64,11 @@ type (
 	GateImpl = models.GateImpl
 	// ReorderMethod selects GS or IS chain reordering.
 	ReorderMethod = models.ReorderMethod
+	// PolicyName names a registered compiler policy bundle; the zero value
+	// is the baseline (the paper's heuristics).
+	PolicyName = models.PolicyName
+	// PolicyInfo describes one registered compiler policy bundle.
+	PolicyInfo = models.PolicyInfo
 	// CompileOptions configures the backend compiler.
 	CompileOptions = compiler.Options
 	// BenchmarkSpec describes one suite benchmark and its Table II
@@ -112,6 +117,16 @@ func LoadParams(data []byte) (Params, error) { return models.LoadJSON(data) }
 // DefaultCompileOptions returns the paper's compiler configuration:
 // GS reordering and two buffer slots per trap.
 func DefaultCompileOptions() CompileOptions { return compiler.DefaultOptions() }
+
+// CompilerPolicies lists the registered compiler policy bundles, baseline
+// first. Any returned name is valid for CompileOptions.Policy (via
+// ParsePolicy), a design point's "policy" field, or a sweep's "policies"
+// axis.
+func CompilerPolicies() []PolicyInfo { return models.Policies() }
+
+// ParsePolicy resolves a policy name case-insensitively; "" and
+// "baseline" both mean the baseline bundle.
+func ParsePolicy(name string) (PolicyName, error) { return models.ParsePolicy(name) }
 
 // NewCircuit returns an empty circuit over n qubits.
 func NewCircuit(name string, n int) *Circuit { return circuit.New(name, n) }
