@@ -15,6 +15,13 @@
 //
 //	qccdd [-addr :8080] [-cache 4096] [-workers N] [-max-points 10000]
 //	      [-max-space 10000000] [-params FILE]
+//	      [-cache-dir DIR] [-cache-disk-max BYTES]
+//
+// With -cache-dir the outcome cache gains a persistent disk tier:
+// computed outcomes are written through to DIR and survive restarts, and
+// the directory may be shared by many replicas (e.g. on one mounted
+// volume), each serving a disjoint "shard" of the same sweep grammar. A
+// fresh replica re-serving known work performs zero computations.
 //
 // Example session:
 //
@@ -54,6 +61,8 @@ func main() {
 		maxPoints = flag.Int("max-points", 10000, "max materialized design points per sweep request")
 		maxSpace  = flag.Int64("max-space", 10_000_000, "max lazy expansion size of a grammar sweep")
 		paramsIn  = flag.String("params", "", "JSON file overriding the physical model parameters")
+		cacheDir  = flag.String("cache-dir", "", "directory for the persistent outcome-cache tier (sharable between replicas)")
+		diskMax   = flag.Int64("cache-disk-max", 0, "max bytes of the persistent cache tier, oldest evicted first (0: unbounded)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -71,11 +80,13 @@ func main() {
 		}
 	}
 	srv, err := service.New(service.Config{
-		Params:         params,
-		CacheEntries:   *cacheSize,
-		MaxWorkers:     *workers,
-		MaxSweepPoints: *maxPoints,
-		MaxSpacePoints: *maxSpace,
+		Params:            params,
+		CacheEntries:      *cacheSize,
+		MaxWorkers:        *workers,
+		MaxSweepPoints:    *maxPoints,
+		MaxSpacePoints:    *maxSpace,
+		CacheDir:          *cacheDir,
+		CacheDiskMaxBytes: *diskMax,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -105,6 +116,11 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
-	st := srv.CacheStats()
-	log.Printf("served %d unique design points, %d cache reuses", st.Misses, st.Hits+st.Shared)
+	st := srv.StoreStats()
+	if st.Disk != nil {
+		log.Printf("computed %d design points, %d cache reuses, disk tier: %d reads, %d writes, %d entries",
+			st.Computes, st.Memory.Hits+st.Memory.Shared, st.Disk.Reads, st.Disk.Writes, st.Disk.Entries)
+	} else {
+		log.Printf("served %d unique design points, %d cache reuses", st.Memory.Misses, st.Memory.Hits+st.Memory.Shared)
+	}
 }

@@ -239,3 +239,48 @@ func TestGoldenGridCoversFigures(t *testing.T) {
 		t.Errorf("golden grid has %d points, want %d", len(grid), 6*2*6*4*2)
 	}
 }
+
+// TestPaperSpaceShardPartition is the sharding acceptance proof: for many
+// replica counts, the index windows of experiments.PaperSpace() are
+// disjoint, gap-free, and their union enumerates the golden grid
+// point-for-point, in the pinned order. This is what lets n qccdd
+// replicas each sweep one shard and have their NDJSON outputs concatenate
+// into exactly the paper evaluation.
+func TestPaperSpaceShardPartition(t *testing.T) {
+	grid, err := experiments.PaperSpace().Compile()
+	if err != nil {
+		t.Fatalf("compile paper space: %v", err)
+	}
+	want := goldenGrid()
+	if grid.Size() != int64(len(want)) {
+		t.Fatalf("paper space expands to %d points, golden grid has %d", grid.Size(), len(want))
+	}
+	for _, count := range []int{1, 2, 3, 4, 7, 16, 575, 576, 600} {
+		prevEnd := int64(0)
+		var union []core.Point
+		for i := 0; i < count; i++ {
+			w, err := grid.Shard(i, count)
+			if err != nil {
+				t.Fatalf("count %d shard %d: %v", count, i, err)
+			}
+			if w.Start != prevEnd {
+				t.Fatalf("count %d shard %d: starts at %d, want %d (gap or overlap)", count, i, w.Start, prevEnd)
+			}
+			for j := w.Start; j < w.End; j++ {
+				union = append(union, grid.PointAt(j))
+			}
+			prevEnd = w.End
+		}
+		if prevEnd != grid.Size() {
+			t.Fatalf("count %d: shards end at %d, want %d", count, prevEnd, grid.Size())
+		}
+		if len(union) != len(want) {
+			t.Fatalf("count %d: union has %d points, want %d", count, len(union), len(want))
+		}
+		for i := range want {
+			if union[i] != want[i] {
+				t.Fatalf("count %d: union point %d = %s, golden grid has %s", count, i, union[i], want[i])
+			}
+		}
+	}
+}

@@ -78,6 +78,15 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// Put stores a value under key unconditionally (subject to the LRU
+// bound), marking it recently used. The Store uses it to promote disk
+// hits into the memory front without charging a miss.
+func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.add(key, val)
+}
+
 // Do returns the value for key, computing it with compute on a miss.
 // Concurrent calls with the same key share one computation: exactly one
 // caller runs compute, the rest block until it finishes. Successful

@@ -71,7 +71,9 @@ type Toolflow struct {
 	// normalized away, since each point's gate overrides it) so per-point
 	// cache keys only hash the point itself.
 	baseHash string
-	outcomes *cache.Cache[Outcome]
+	// outcomes is any cache tier: the in-memory LRU, or a two-level
+	// persistent store shared across processes (cache.Store).
+	outcomes cache.Tier[Outcome]
 	mu       sync.Mutex
 	circuits map[string]*circuit.Circuit
 }
@@ -90,10 +92,12 @@ func NewCached(base models.Params, entries int) *Toolflow {
 	return NewWithCache(base, cache.New[Outcome](entries))
 }
 
-// NewWithCache returns a toolflow backed by c, which may be shared with
-// other toolflows (the cache key covers both point and parameters, so
-// toolflows under different calibrations cannot cross-talk).
-func NewWithCache(base models.Params, c *cache.Cache[Outcome]) *Toolflow {
+// NewWithCache returns a toolflow backed by any cache tier c — a plain
+// in-memory cache.Cache or a persistent two-level cache.Store — which may
+// be shared with other toolflows and, for a disk-backed store, with other
+// processes (the cache key covers both point and parameters, so toolflows
+// under different calibrations cannot cross-talk).
+func NewWithCache(base models.Params, c cache.Tier[Outcome]) *Toolflow {
 	tf := New(base)
 	tf.outcomes = c
 	tf.baseHash = paramsHash(base)
@@ -103,8 +107,8 @@ func NewWithCache(base models.Params, c *cache.Cache[Outcome]) *Toolflow {
 // Params returns the toolflow's base physical parameters.
 func (tf *Toolflow) Params() models.Params { return tf.base }
 
-// Cache returns the outcome cache, or nil for an uncached toolflow.
-func (tf *Toolflow) Cache() *cache.Cache[Outcome] { return tf.outcomes }
+// Cache returns the outcome cache tier, or nil for an uncached toolflow.
+func (tf *Toolflow) Cache() cache.Tier[Outcome] { return tf.outcomes }
 
 // CacheStats snapshots the outcome cache counters; the zero Stats for an
 // uncached toolflow.

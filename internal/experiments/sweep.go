@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/sweep"
@@ -62,6 +63,31 @@ func NewRunner(base models.Params) *Runner { return core.New(base) }
 // evaluation on one cached runner computes each unique design point once.
 func NewCachedRunner(base models.Params, entries int) *Runner {
 	return core.NewCached(base, entries)
+}
+
+// NewPersistentRunner returns a toolflow backed by a two-level outcome
+// store: an in-memory LRU front of at most entries results (entries <= 0
+// means unbounded) plus a persistent disk tier on dir, which survives the
+// process and may be shared concurrently with other runners and qccdd
+// replicas. diskMax caps the disk tier in bytes (0 = unbounded). A second
+// run of the paper evaluation against a populated directory computes
+// nothing (see TestWarmStartPaperGridZeroComputes).
+func NewPersistentRunner(base models.Params, entries int, dir string, diskMax int64) (*Runner, error) {
+	disk, err := cache.OpenDisk(dir, diskMax)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewWithCache(base, cache.NewStore[Outcome](entries, disk)), nil
+}
+
+// StoreStats reports the two-level cache counters of a runner built by
+// NewPersistentRunner; ok is false for any other runner.
+func StoreStats(r *Runner) (stats cache.StoreStats, ok bool) {
+	s, isStore := r.Cache().(*cache.Store[Outcome])
+	if !isStore {
+		return cache.StoreStats{}, false
+	}
+	return s.StoreStats(), true
 }
 
 // CapacitySweep builds points for one app/topology/microarch across the

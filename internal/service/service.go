@@ -62,6 +62,14 @@ type Config struct {
 	MaxSpacePoints int64
 	// MaxBodyBytes caps request body size (default 8 MiB).
 	MaxBodyBytes int64
+	// CacheDir, when non-empty, mounts a persistent disk tier for the
+	// outcome cache on a directory that may be shared by many replicas:
+	// computed outcomes are written through and survive restarts, so a
+	// fresh process re-serving known work performs zero computations.
+	CacheDir string
+	// CacheDiskMaxBytes caps the disk tier's size; oldest entries are
+	// evicted past it (0 = unbounded). Ignored without CacheDir.
+	CacheDiskMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -96,7 +104,7 @@ const maxToolflows = 64
 // use.
 type Server struct {
 	cfg      Config
-	outcomes *cache.Cache[core.Outcome]
+	outcomes *cache.Store[core.Outcome]
 	start    time.Time
 	sweeps   *sweepRegistry
 
@@ -104,16 +112,25 @@ type Server struct {
 	flows map[string]*core.Toolflow // keyed by params hash
 }
 
-// New returns a server with one shared outcome cache. A non-zero but
-// invalid base calibration is an error, never silently replaced.
+// New returns a server with one shared outcome cache: an in-memory LRU
+// front, plus a persistent disk back when Config.CacheDir is set. A
+// non-zero but invalid base calibration is an error, never silently
+// replaced, and so is an unusable cache directory.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	var disk *cache.Disk
+	if cfg.CacheDir != "" {
+		var err error
+		if disk, err = cache.OpenDisk(cfg.CacheDir, cfg.CacheDiskMaxBytes); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
 	return &Server{
 		cfg:      cfg,
-		outcomes: cache.New[core.Outcome](cfg.CacheEntries),
+		outcomes: cache.NewStore[core.Outcome](cfg.CacheEntries, disk),
 		start:    time.Now(),
 		sweeps:   newSweepRegistry(),
 		flows:    make(map[string]*core.Toolflow),
@@ -150,6 +167,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/apps", s.handleApps)
 	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	mux.HandleFunc("GET /v1/params", s.handleParams)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -270,6 +288,10 @@ type SweepRequest struct {
 	// Limit caps the number of rows this response streams (grammar form
 	// only); the summary then carries next_cursor for the remainder.
 	Limit int64 `json:"limit,omitempty"`
+	// Shard restricts a grammar sweep to one index window of the
+	// expansion, so n replicas behind a load balancer can each stream a
+	// disjoint slice of one space (grammar form only).
+	Shard *ShardSpec `json:"shard,omitempty"`
 	// Params optionally overrides the server calibration for every point.
 	Params *models.Params `json:"params,omitempty"`
 	// Workers caps this request's concurrency; clamped to the server
@@ -304,8 +326,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.handleSpaceSweep(w, r, &req)
 		return
 	}
-	if req.ResumeFrom != "" || req.Limit != 0 {
-		writeError(w, http.StatusBadRequest, "sweep: resume_from and limit require a space grammar")
+	if req.ResumeFrom != "" || req.Limit != 0 || req.Shard != nil {
+		writeError(w, http.StatusBadRequest, "sweep: resume_from, limit and shard require a space grammar")
 		return
 	}
 	if len(req.Points) == 0 {
@@ -522,12 +544,15 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cfg.Params)
 }
 
-// Health is the body of GET /healthz.
+// Health is the body of GET /healthz. Cache is the in-memory front tier
+// (the pre-persistence wire shape); Store is the full two-level picture
+// including disk counters and the compute count.
 type Health struct {
-	Status    string      `json:"status"`
-	UptimeS   float64     `json:"uptime_s"`
-	GoVersion string      `json:"go_version"`
-	Cache     cache.Stats `json:"cache"`
+	Status    string           `json:"status"`
+	UptimeS   float64          `json:"uptime_s"`
+	GoVersion string           `json:"go_version"`
+	Cache     cache.Stats      `json:"cache"`
+	Store     cache.StoreStats `json:"store"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -536,8 +561,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeS:   time.Since(s.start).Seconds(),
 		GoVersion: runtime.Version(),
 		Cache:     s.outcomes.Stats(),
+		Store:     s.outcomes.StoreStats(),
 	})
 }
 
-// CacheStats snapshots the shared outcome cache.
+// CacheResponse is the body of GET /v1/cache: full observability of the
+// outcome store — memory hit/miss/evict, disk read/write/corrupt, and
+// how many computations this process has actually run (zero on a warm
+// replica re-serving known work).
+type CacheResponse struct {
+	Store cache.StoreStats `json:"store"`
+	// Persistent reports whether a disk tier is mounted; Dir and
+	// DiskMaxBytes echo its configuration.
+	Persistent   bool   `json:"persistent"`
+	Dir          string `json:"dir,omitempty"`
+	DiskMaxBytes int64  `json:"disk_max_bytes,omitempty"`
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	resp := CacheResponse{Store: s.outcomes.StoreStats()}
+	if d := s.outcomes.Disk(); d != nil {
+		resp.Persistent = true
+		resp.Dir = d.Dir()
+		resp.DiskMaxBytes = d.MaxBytes()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// CacheStats snapshots the in-memory front of the shared outcome cache.
 func (s *Server) CacheStats() cache.Stats { return s.outcomes.Stats() }
+
+// StoreStats snapshots every cache tier plus the compute counter.
+func (s *Server) StoreStats() cache.StoreStats { return s.outcomes.StoreStats() }

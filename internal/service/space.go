@@ -5,12 +5,52 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/sweep"
 )
+
+// ShardSpec restricts a grammar sweep to one index window of the
+// expansion's stable total order. Exactly one of the two forms must be
+// used: Index/Count selects one window of the balanced count-way
+// partition (the form a fleet of identical replicas uses), while
+// Start/End names an explicit half-open [start, end) window. Because the
+// partition is exact — disjoint, gap-free, union the full grid — n
+// replicas each sweeping shard {i, n} of one space together stream every
+// point exactly once, and a shared cache directory dedupes any work that
+// overlaps across requests.
+type ShardSpec struct {
+	Index *int   `json:"index,omitempty"`
+	Count *int   `json:"count,omitempty"`
+	Start *int64 `json:"start,omitempty"`
+	End   *int64 `json:"end,omitempty"`
+}
+
+// window validates the spec against a compiled grid and resolves it to
+// an index window.
+func (sp *ShardSpec) window(grid *sweep.Grid) (sweep.Window, error) {
+	byIndex := sp.Index != nil || sp.Count != nil
+	byRange := sp.Start != nil || sp.End != nil
+	switch {
+	case byIndex && byRange:
+		return sweep.Window{}, errors.New("sweep: shard: index/count and start/end are mutually exclusive")
+	case byIndex:
+		if sp.Index == nil || sp.Count == nil {
+			return sweep.Window{}, errors.New("sweep: shard: index and count must be set together")
+		}
+		return grid.Shard(*sp.Index, *sp.Count)
+	case byRange:
+		if sp.Start == nil || sp.End == nil {
+			return sweep.Window{}, errors.New("sweep: shard: start and end must be set together")
+		}
+		return grid.Window(*sp.Start, *sp.End)
+	default:
+		return sweep.Window{}, errors.New("sweep: shard: specify index/count or start/end")
+	}
+}
 
 // SweepHeader is the first NDJSON line of a grammar sweep response: it
 // names the sweep for GET /v1/sweeps/{id}, pins the space identity the
@@ -22,9 +62,13 @@ type SweepHeader struct {
 	// GridSize is the full expansion size of the grammar.
 	GridSize int64 `json:"grid_size"`
 	// Start and End bound this response's half-open index window; Start
-	// is nonzero when resuming, End < GridSize when a limit applies.
+	// is nonzero when resuming or sharding, End < GridSize when a limit
+	// or shard window applies.
 	Start int64 `json:"start_index"`
 	End   int64 `json:"end_index"`
+	// ShardIndex and ShardCount echo an index/count shard request.
+	ShardIndex *int `json:"shard_index,omitempty"`
+	ShardCount *int `json:"shard_count,omitempty"`
 }
 
 // SweepStatus is the body of GET /v1/sweeps/{id}: a snapshot of one
@@ -35,6 +79,10 @@ type SweepStatus struct {
 	GridSize  int64  `json:"grid_size"`
 	Start     int64  `json:"start_index"`
 	End       int64  `json:"end_index"`
+	// ShardIndex and ShardCount echo an index/count shard request, so a
+	// coordinator polling GET /v1/sweeps can attribute progress per shard.
+	ShardIndex *int `json:"shard_index,omitempty"`
+	ShardCount *int `json:"shard_count,omitempty"`
 	// Emitted counts rows written to the client so far; Failed and
 	// CacheHits break them down.
 	Emitted   int64 `json:"emitted"`
@@ -100,7 +148,7 @@ func newSweepRegistry() *sweepRegistry {
 	return &sweepRegistry{states: make(map[string]*sweepState)}
 }
 
-func (r *sweepRegistry) add(grid *sweep.Grid, start, end int64) *sweepState {
+func (r *sweepRegistry) add(grid *sweep.Grid, start, end int64, shard *ShardSpec) *sweepState {
 	st := &sweepState{
 		status: SweepStatus{
 			ID:        newSweepID(),
@@ -110,6 +158,9 @@ func (r *sweepRegistry) add(grid *sweep.Grid, start, end int64) *sweepState {
 			End:       end,
 		},
 		started: time.Now(),
+	}
+	if shard != nil && shard.Index != nil {
+		st.status.ShardIndex, st.status.ShardCount = shard.Index, shard.Count
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -201,9 +252,20 @@ func (s *Server) handleSpaceSweep(w http.ResponseWriter, r *http.Request, req *S
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if grid.Size() > s.cfg.MaxSpacePoints {
-		writeError(w, http.StatusBadRequest, "sweep: space expands to %d points, exceeding the limit of %d",
-			grid.Size(), s.cfg.MaxSpacePoints)
+	// A shard restricts the request to one window of the expansion; the
+	// points cap then applies to what this request would actually stream,
+	// so a million-point space is admissible as long as each replica's
+	// slice is within bounds.
+	window := grid.FullWindow()
+	if req.Shard != nil {
+		if window, err = req.Shard.window(grid); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if window.Len() > s.cfg.MaxSpacePoints {
+		writeError(w, http.StatusBadRequest, "sweep: request covers %d points, exceeding the limit of %d",
+			window.Len(), s.cfg.MaxSpacePoints)
 		return
 	}
 	if req.Limit < 0 {
@@ -215,14 +277,21 @@ func (s *Server) handleSpaceSweep(w http.ResponseWriter, r *http.Request, req *S
 		writeError(w, http.StatusBadRequest, "params: %v", err)
 		return
 	}
-	start := int64(0)
+	start := window.Start
 	if req.ResumeFrom != "" {
-		if start, err = grid.Resume(req.ResumeFrom); err != nil {
+		idx, err := grid.Resume(req.ResumeFrom)
+		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		// Cursors are minted against the full expansion; inside a shard
+		// they resume within the window only. Clamping (never rejecting)
+		// means a cursor taken from any replica's stream composes with any
+		// shard: out-of-window cursors yield the window start or an empty
+		// remainder instead of leaking another shard's rows.
+		start = window.Clamp(idx)
 	}
-	end := grid.Size()
+	end := window.End
 	if req.Limit > 0 && start+req.Limit < end {
 		end = start + req.Limit
 	}
@@ -238,7 +307,7 @@ func (s *Server) handleSpaceSweep(w http.ResponseWriter, r *http.Request, req *S
 	}
 
 	tf := s.toolflowFor(params)
-	st := s.sweeps.add(grid, start, end)
+	st := s.sweeps.add(grid, start, end, req.Shard)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -264,11 +333,13 @@ func (s *Server) handleSpaceSweep(w http.ResponseWriter, r *http.Request, req *S
 		}
 	}
 	write(SweepHeader{
-		SweepID:   st.status.ID,
-		SpaceHash: grid.Hash(),
-		GridSize:  grid.Size(),
-		Start:     start,
-		End:       end,
+		SweepID:    st.status.ID,
+		SpaceHash:  grid.Hash(),
+		GridSize:   grid.Size(),
+		Start:      start,
+		End:        end,
+		ShardIndex: st.status.ShardIndex,
+		ShardCount: st.status.ShardCount,
 	})
 
 	// order is the emission sequence and the backpressure bound: the
@@ -340,10 +411,12 @@ func (s *Server) handleSpaceSweep(w http.ResponseWriter, r *http.Request, req *S
 		CacheHits: int(snap.CacheHits),
 		ElapsedUS: time.Since(sweepStart).Microseconds(),
 	}
-	// A limited window that stopped short of the grid end gets the
+	// A limited request that stopped short of its window end gets the
 	// continuation cursor in the summary, so paginating clients need not
-	// track per-row cursors.
-	if end < grid.Size() {
+	// track per-row cursors. A completed shard window is done — its
+	// summary carries no cursor even when the grid continues beyond it;
+	// the next window belongs to another replica.
+	if end < window.End {
 		summary.NextCursor = grid.Cursor(end)
 	}
 	write(summary)

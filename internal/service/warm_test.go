@@ -1,0 +1,173 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// persistentServer builds a server whose outcome cache mounts the given
+// directory as its disk tier.
+func persistentServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// sweepRows runs the test-space grammar sweep and returns its rows.
+func sweepRows(t *testing.T, url string) []SweepLine {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/sweep", `{"space":`+testSpaceBody+`}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	_, rows, summary := ndjson(t, resp.Body)
+	if summary == nil || !summary.Done {
+		t.Fatal("missing summary")
+	}
+	if len(rows) != testSpaceSize {
+		t.Fatalf("rows = %d, want %d", len(rows), testSpaceSize)
+	}
+	return rows
+}
+
+// TestWarmStartServiceZeroComputes is the warm-start proof at the service
+// layer: a fresh process re-serving a grammar already swept into a shared
+// cache directory performs zero simulator computations — every outcome is
+// read back from disk, and the results are identical.
+func TestWarmStartServiceZeroComputes(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1, ts1 := persistentServer(t, dir)
+	coldRows := sweepRows(t, ts1.URL)
+	st1 := srv1.StoreStats()
+	if st1.Computes != testSpaceSize {
+		t.Fatalf("cold computes = %d, want %d", st1.Computes, testSpaceSize)
+	}
+	if st1.Disk == nil || st1.Disk.Writes != testSpaceSize {
+		t.Fatalf("cold disk stats = %+v, want %d writes", st1.Disk, testSpaceSize)
+	}
+	ts1.Close()
+
+	// A second replica mounts the same directory with a cold memory tier.
+	srv2, ts2 := persistentServer(t, dir)
+	warmRows := sweepRows(t, ts2.URL)
+	st2 := srv2.StoreStats()
+	if st2.Computes != 0 {
+		t.Fatalf("warm computes = %d, want 0", st2.Computes)
+	}
+	if st2.Disk == nil || st2.Disk.Reads != testSpaceSize {
+		t.Fatalf("warm disk stats = %+v, want %d reads", st2.Disk, testSpaceSize)
+	}
+	for i, row := range warmRows {
+		if !row.Cached {
+			t.Errorf("warm row %d not reported cached", i)
+		}
+		cold, err := json.Marshal(coldRows[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := json.Marshal(row.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(cold) != string(warm) {
+			t.Errorf("row %d result differs:\ncold: %s\nwarm: %s", i, cold, warm)
+		}
+	}
+}
+
+// TestCacheEndpoint pins the observability surface of GET /v1/cache for a
+// persistent server: the persistent flag, the mounted directory, and the
+// full counter set across a cold and a warm pass.
+func TestCacheEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := persistentServer(t, dir)
+
+	before := decodeBody[CacheResponse](t, mustGet(t, ts.URL+"/v1/cache"))
+	if !before.Persistent || before.Dir != dir {
+		t.Fatalf("cache response = %+v, want persistent on %q", before, dir)
+	}
+	if before.Store.Computes != 0 || before.Store.Disk == nil || before.Store.Disk.Entries != 0 {
+		t.Fatalf("fresh store stats = %+v", before.Store)
+	}
+
+	sweepRows(t, ts.URL) // cold: compute and write through
+	sweepRows(t, ts.URL) // warm: memory front serves everything
+
+	after := decodeBody[CacheResponse](t, mustGet(t, ts.URL+"/v1/cache"))
+	st := after.Store
+	if st.Computes != testSpaceSize {
+		t.Errorf("computes = %d, want %d", st.Computes, testSpaceSize)
+	}
+	if st.Memory.Hits != testSpaceSize || st.Memory.Misses != testSpaceSize {
+		t.Errorf("memory stats = %+v, want %d hits and misses", st.Memory, testSpaceSize)
+	}
+	if st.Disk == nil || st.Disk.Writes != testSpaceSize || st.Disk.Entries != testSpaceSize || st.Disk.Bytes <= 0 {
+		t.Errorf("disk stats = %+v", st.Disk)
+	}
+}
+
+// TestCacheEndpointWithoutDisk reports a memory-only store as
+// non-persistent.
+func TestCacheEndpointWithoutDisk(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := decodeBody[CacheResponse](t, mustGet(t, ts.URL+"/v1/cache"))
+	if resp.Persistent || resp.Dir != "" || resp.DiskMaxBytes != 0 {
+		t.Fatalf("memory-only cache response = %+v", resp)
+	}
+	if resp.Store.Disk != nil {
+		t.Fatalf("memory-only store reports disk stats: %+v", resp.Store.Disk)
+	}
+}
+
+// TestHealthzIncludesStore pins that liveness carries the two-level
+// picture, not just the legacy memory-front counters.
+func TestHealthzIncludesStore(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := persistentServer(t, dir)
+	sweepRows(t, ts.URL)
+	h := decodeBody[Health](t, mustGet(t, ts.URL+"/healthz"))
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.Store.Computes != testSpaceSize || h.Store.Disk == nil || h.Store.Disk.Writes != testSpaceSize {
+		t.Errorf("healthz store = %+v", h.Store)
+	}
+	if h.Cache != h.Store.Memory {
+		t.Errorf("legacy cache field %+v != store memory %+v", h.Cache, h.Store.Memory)
+	}
+}
+
+// TestNewRejectsUnusableCacheDir: an unopenable cache directory is a
+// construction error, never a silent memory-only fallback.
+func TestNewRejectsUnusableCacheDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{CacheDir: file}); err == nil {
+		t.Fatal("New accepted a file as cache dir")
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status = %d", url, resp.StatusCode)
+	}
+	return resp
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench_baseline.sh — record the warm/cold sweep baseline.
+#
+# Runs BenchmarkSweepWarmVsCold (a representative 12-point paper-grid
+# sweep: cold = empty cache directory, every point compiled and simulated;
+# warm = fresh process on a pre-seeded directory, every point a disk read)
+# and emits BENCH_sweep.json with both timings and the speedup, so perf
+# regressions on either path show up as a diff.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_sweep.json}"
+BENCHTIME="${BENCHTIME:-10x}"
+
+echo "== go test -bench SweepWarmVsCold -benchtime $BENCHTIME"
+go test ./internal/experiments/ -run 'XXX' -bench 'SweepWarmVsCold' \
+  -benchtime "$BENCHTIME" | tee /tmp/bench_sweep.$$.txt
+
+COLD_NS=$(awk '/BenchmarkSweepWarmVsCold\/cold/ {print $3}' /tmp/bench_sweep.$$.txt)
+WARM_NS=$(awk '/BenchmarkSweepWarmVsCold\/warm/ {print $3}' /tmp/bench_sweep.$$.txt)
+rm -f /tmp/bench_sweep.$$.txt
+[ -n "$COLD_NS" ] && [ -n "$WARM_NS" ] || { echo "bench_baseline: FAIL: could not parse benchmark output" >&2; exit 1; }
+
+SPEEDUP=$(awk -v c="$COLD_NS" -v w="$WARM_NS" 'BEGIN { printf "%.1f", c / w }')
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "BenchmarkSweepWarmVsCold",
+  "points_per_sweep": 12,
+  "cold_ns_per_op": $COLD_NS,
+  "warm_ns_per_op": $WARM_NS,
+  "warm_speedup": $SPEEDUP,
+  "benchtime": "$BENCHTIME",
+  "go": "$(go env GOVERSION)"
+}
+EOF
+
+echo "== wrote $OUT (warm start ${SPEEDUP}x faster than cold)"
+awk -v s="$SPEEDUP" 'BEGIN { exit (s >= 10) ? 0 : 1 }' \
+  || { echo "bench_baseline: FAIL: warm speedup ${SPEEDUP}x below the 10x bar" >&2; exit 1; }
+echo "bench_baseline: PASS"
