@@ -534,14 +534,26 @@ func largeDevice(form string, n int) (*Device, error) {
 		return NewLinearDevice(traps, capacity)
 	case "grid":
 		return NewGridDevice(2, (traps+1)/2, capacity)
+	case "grid3":
+		return NewGridDevice(3, (traps+2)/3, capacity)
+	case "mesh":
+		return NewMeshDevice(2, (traps+1)/2, capacity)
+	case "mod":
+		inner, err := NewGridDevice(2, (traps+3)/4, capacity)
+		if err != nil {
+			return nil, err
+		}
+		return NewMultiModuleDevice(2, inner)
 	case "ring":
 		return ParseDevice(fmt.Sprintf("R%d", traps), capacity)
 	}
 	return nil, fmt.Errorf("unknown device form %q", form)
 }
 
-// largeForms are the topology families of the large-device benchmarks.
-var largeForms = []string{"linear", "grid", "ring"}
+// largeForms are the topology families of the large-device benchmarks:
+// the original three plus the registry's X-junction grid, junction-rich
+// mesh, and photonically linked multi-module forms.
+var largeForms = []string{"linear", "grid", "grid3", "mesh", "mod", "ring"}
 
 // BenchmarkCompileLarge measures backend compilation at the 100-200 qubit
 // scale the ROADMAP targets (sized QAOA instances, the scaling study's

@@ -1,8 +1,8 @@
 // Command experiments regenerates the paper's evaluation: Table I,
 // Table II, and Figures 6, 7 and 8, plus beyond-the-paper studies of
-// device scaling, surface-code QEC and compiler policies. With no
-// selection flags it runs everything. With -csv
-// DIR it additionally writes the raw figure data as CSV files.
+// device scaling, surface-code QEC, compiler policies and TITAN-scale
+// multi-module devices. With no selection flags it runs everything. With
+// -csv DIR it additionally writes the raw figure data as CSV files.
 //
 // Every figure runs on one shared toolflow with a content-addressed
 // outcome cache, so design points that recur across figures (Figure 8's
@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	experiments [-table1] [-table2] [-fig6] [-fig7] [-fig8] [-scaling] [-qec] [-policies] [-csv DIR]
+//	experiments [-table1] [-table2] [-fig6] [-fig7] [-fig8] [-scaling] [-qec] [-policies] [-titan] [-csv DIR]
 //	experiments -grammar   # print the paper grid as a sweep-grammar request
 package main
 
@@ -47,6 +47,7 @@ func realMain() int {
 		scaling  = flag.Bool("scaling", false, "run the beyond-paper device scaling study")
 		qec      = flag.Bool("qec", false, "run the beyond-paper surface-code QEC study")
 		policies = flag.Bool("policies", false, "run the beyond-paper compiler policy comparison")
+		titan    = flag.Bool("titan", false, "run the TITAN-scale multi-module study (module count x link latency)")
 		grammar  = flag.Bool("grammar", false, "print the full paper grid as a sweep-grammar request body for POST /v1/sweep and exit")
 		csvDir   = flag.String("csv", "", "directory to write raw figure data as CSV")
 	)
@@ -70,7 +71,7 @@ func realMain() int {
 		fmt.Println(string(out))
 		return 0
 	}
-	all := !*table1 && !*table2 && !*fig6 && !*fig7 && !*fig8 && !*scaling && !*qec && !*policies
+	all := !*table1 && !*table2 && !*fig6 && !*fig7 && !*fig8 && !*scaling && !*qec && !*policies && !*titan
 	params := models.Default()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -107,6 +108,11 @@ func realMain() int {
 	}
 	if all || *policies {
 		failed += run("policies", *csvDir, func() (artifact, error) { return experiments.RunPolicyComparisonWith(runner) })
+	}
+	if all || *titan {
+		// The link latency is a physical parameter, so the study manages
+		// its own per-latency runners instead of sharing the cached one.
+		failed += run("titan", *csvDir, func() (artifact, error) { return experiments.RunTitan(params) })
 	}
 	if st := runner.CacheStats(); st.Misses > 0 {
 		// Misses includes retries of failed points (errors are never

@@ -418,8 +418,15 @@ func (cc *compilation) shuttle(q, src, dst, gi, depth int, keep []int) error {
 	cc.removeFromChain(q, src)
 
 	for _, hop := range route.Hops {
+		moveKind := isa.OpMove
+		if cc.dev.Segments[hop.Segment].Kind == device.SegPhotonic {
+			// A photonic interconnect is traversed as one timed link
+			// transit (remote entanglement + teleportation), not a
+			// per-unit shuttle.
+			moveKind = isa.OpLinkTransit
+		}
 		cc.addOp(isa.Op{
-			Kind: isa.OpMove, Qubits: cc.qubits1(q), Trap: -1, Segment: hop.Segment, GateIndex: gi,
+			Kind: moveKind, Qubits: cc.qubits1(q), Trap: -1, Segment: hop.Segment, GateIndex: gi,
 		}, false)
 		switch hop.Node.Kind {
 		case device.NodeJunction:
@@ -588,7 +595,7 @@ func (cc *compilation) insertIntoChain(q, t int, end device.End) {
 func (cc *compilation) addOp(op isa.Op, structural bool) int {
 	id := len(cc.ops)
 	op.ID = id
-	if op.Kind != isa.OpMove {
+	if op.Kind != isa.OpMove && op.Kind != isa.OpLinkTransit {
 		op.Segment = -1
 	}
 	if op.Kind != isa.OpJunctionCross {

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/device"
 	"repro/internal/models"
 	"repro/internal/sim"
 )
@@ -93,6 +94,16 @@ func (p Point) Validate() error {
 	}
 	if p.Capacity < 1 {
 		return fmt.Errorf("core: point: capacity must be >= 1, got %d", p.Capacity)
+	}
+	// Check the spec against the topology family registry. Capacity is
+	// clamped to the device minimum first, so a structurally sound spec
+	// with capacity 1 stays an evaluation-time outcome as before.
+	specCap := p.Capacity
+	if specCap < 2 {
+		specCap = 2
+	}
+	if err := device.ValidateSpec(p.Topology, specCap); err != nil {
+		return fmt.Errorf("core: point: %w", err)
 	}
 	if _, err := models.ParsePolicy(string(p.Policy)); err != nil {
 		return fmt.Errorf("core: point: %w", err)

@@ -10,122 +10,105 @@ func NewLinear(traps, capacity int) (*Device, error) {
 	if traps < 1 {
 		return nil, fmt.Errorf("device: linear needs >=1 trap, got %d", traps)
 	}
-	d := &Device{Name: fmt.Sprintf("L%d", traps), Capacity: capacity}
+	if traps > MaxTraps {
+		return nil, fmt.Errorf("device: linear with %d traps exceeds the %d-trap limit", traps, MaxTraps)
+	}
+	g := newGraph(fmt.Sprintf("L%d", traps), capacity)
 	for i := 0; i < traps; i++ {
-		d.Traps = append(d.Traps, &Trap{ID: i, Name: fmt.Sprintf("T%d", i), Seg: [2]int{-1, -1}})
+		g.trap(fmt.Sprintf("T%d", i))
 	}
 	for i := 0; i+1 < traps; i++ {
-		sid := len(d.Segments)
-		d.Segments = append(d.Segments, &Segment{
-			ID:     sid,
-			A:      Endpoint{Node: NodeRef{NodeTrap, i}, TrapEnd: Right},
-			B:      Endpoint{Node: NodeRef{NodeTrap, i + 1}, TrapEnd: Left},
-			Length: 1,
-		})
-		d.Traps[i].Seg[Right] = sid
-		d.Traps[i+1].Seg[Left] = sid
+		g.segment(atTrap(i, Right), atTrap(i+1, Left))
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	return d, nil
+	return g.finish()
 }
 
 // NewGrid builds a G<rows>x<cols> device: traps arranged in a grid with a
 // junction between each pair of row-adjacent traps and vertical segments
 // connecting junctions in the same column, generalizing the paper's
-// Figure 2b (a 2x2 grid has 5 segments and 2 junctions). Trap (r,c) has ID
-// r*cols+c; junction (r,j) sits between traps (r,j) and (r,j+1).
+// Figure 2b (a 2x2 grid has 5 segments and 2 junctions). Any rows >= 2
+// works: in a 3-row-plus grid the interior junction rows acquire degree 4
+// and become X junctions. Trap (r,c) has ID r*cols+c; junction (r,j) sits
+// between traps (r,j) and (r,j+1).
 func NewGrid(rows, cols, capacity int) (*Device, error) {
 	if rows < 2 || cols < 2 {
 		return nil, fmt.Errorf("device: grid needs rows,cols >= 2, got %dx%d", rows, cols)
 	}
-	d := &Device{Name: fmt.Sprintf("G%dx%d", rows, cols), Capacity: capacity}
+	if rows > MaxTraps/cols {
+		return nil, fmt.Errorf("device: grid %dx%d exceeds the %d-trap limit", rows, cols, MaxTraps)
+	}
+	g := newGraph(fmt.Sprintf("G%dx%d", rows, cols), capacity)
 	trapID := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
-			d.Traps = append(d.Traps, &Trap{
-				ID:   trapID(r, c),
-				Name: fmt.Sprintf("T%d_%d", r, c),
-				Seg:  [2]int{-1, -1},
-			})
+			g.trap(fmt.Sprintf("T%d_%d", r, c))
 		}
 	}
 	juncID := func(r, j int) int { return r*(cols-1) + j }
 	for r := 0; r < rows; r++ {
 		for j := 0; j < cols-1; j++ {
-			d.Junctions = append(d.Junctions, &Junction{ID: juncID(r, j)})
+			g.junction()
 		}
-	}
-	addSeg := func(a, b Endpoint) int {
-		sid := len(d.Segments)
-		d.Segments = append(d.Segments, &Segment{ID: sid, A: a, B: b, Length: 1})
-		for _, ep := range []Endpoint{a, b} {
-			switch ep.Node.Kind {
-			case NodeTrap:
-				d.Traps[ep.Node.Index].Seg[ep.TrapEnd] = sid
-			case NodeJunction:
-				j := d.Junctions[ep.Node.Index]
-				j.Segments = append(j.Segments, sid)
-			}
-		}
-		return sid
 	}
 	// Row segments: trap right end -> junction -> next trap left end.
 	for r := 0; r < rows; r++ {
 		for j := 0; j < cols-1; j++ {
-			jn := NodeRef{NodeJunction, juncID(r, j)}
-			addSeg(
-				Endpoint{Node: NodeRef{NodeTrap, trapID(r, j)}, TrapEnd: Right},
-				Endpoint{Node: jn},
-			)
-			addSeg(
-				Endpoint{Node: jn},
-				Endpoint{Node: NodeRef{NodeTrap, trapID(r, j+1)}, TrapEnd: Left},
-			)
+			jn := juncID(r, j)
+			g.segment(atTrap(trapID(r, j), Right), atJunction(jn))
+			g.segment(atJunction(jn), atTrap(trapID(r, j+1), Left))
 		}
 	}
 	// Vertical segments between junctions in the same column position.
 	for r := 0; r+1 < rows; r++ {
 		for j := 0; j < cols-1; j++ {
-			addSeg(
-				Endpoint{Node: NodeRef{NodeJunction, juncID(r, j)}},
-				Endpoint{Node: NodeRef{NodeJunction, juncID(r+1, j)}},
-			)
+			g.segment(atJunction(juncID(r, j)), atJunction(juncID(r+1, j)))
 		}
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	return d, nil
+	return g.finish()
 }
 
-// Parse builds a device from a short spec string: "L6" for a 6-trap
-// linear device, "G2x3" for a 2-row, 3-column grid, or "R6" for a 6-trap
-// ring.
-func Parse(spec string, capacity int) (*Device, error) {
-	if len(spec) < 2 {
-		return nil, fmt.Errorf("device: bad spec %q", spec)
+// NewMesh builds an M<rows>x<cols> device: a junction-rich mesh in which
+// every trap is bounded by a junction at each end — junction (r,j) and
+// (r,j+1) flank trap (r,j) — and junctions in the same column position
+// are joined by vertical segments, one corridor per column boundary.
+// Unlike the grid, the mesh has no dead-end traps (every end reaches a
+// junction, so an ion never backtracks out of an outer trap) and
+// cross-row same-column routes are junction-only; horizontal displacement
+// still merges through intervening chains, since a degree-4 junction
+// budget leaves no room for rails parallel to the trap row. Interior
+// junctions reach degree 4 (X), edges degree 3 (Y), corners degree 2.
+func NewMesh(rows, cols, capacity int) (*Device, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("device: mesh needs rows,cols >= 2, got %dx%d", rows, cols)
 	}
-	switch spec[0] {
-	case 'L', 'l':
-		var n int
-		if _, err := fmt.Sscanf(spec[1:], "%d", &n); err != nil {
-			return nil, fmt.Errorf("device: bad linear spec %q", spec)
-		}
-		return NewLinear(n, capacity)
-	case 'R', 'r':
-		var n int
-		if _, err := fmt.Sscanf(spec[1:], "%d", &n); err != nil {
-			return nil, fmt.Errorf("device: bad ring spec %q", spec)
-		}
-		return NewRing(n, capacity)
-	case 'G', 'g':
-		var r, c int
-		if _, err := fmt.Sscanf(spec[1:], "%dx%d", &r, &c); err != nil {
-			return nil, fmt.Errorf("device: bad grid spec %q", spec)
-		}
-		return NewGrid(r, c, capacity)
+	if rows > MaxTraps/cols {
+		return nil, fmt.Errorf("device: mesh %dx%d exceeds the %d-trap limit", rows, cols, MaxTraps)
 	}
-	return nil, fmt.Errorf("device: bad spec %q (want L<n>, R<n> or G<r>x<c>)", spec)
+	g := newGraph(fmt.Sprintf("M%dx%d", rows, cols), capacity)
+	trapID := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.trap(fmt.Sprintf("T%d_%d", r, c))
+		}
+	}
+	juncID := func(r, j int) int { return r*(cols+1) + j }
+	for r := 0; r < rows; r++ {
+		for j := 0; j <= cols; j++ {
+			g.junction()
+		}
+	}
+	// Row segments: junction -> trap left end, trap right end -> junction.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.segment(atJunction(juncID(r, c)), atTrap(trapID(r, c), Left))
+			g.segment(atTrap(trapID(r, c), Right), atJunction(juncID(r, c+1)))
+		}
+	}
+	// Vertical segments between junction rows.
+	for r := 0; r+1 < rows; r++ {
+		for j := 0; j <= cols; j++ {
+			g.segment(atJunction(juncID(r, j)), atJunction(juncID(r+1, j)))
+		}
+	}
+	return g.finish()
 }

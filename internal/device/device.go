@@ -1,9 +1,12 @@
 // Package device models the static hardware description of a QCCD-based
 // trapped-ion system (§III-IV of the paper): trapping zones holding linear
 // ion chains, shuttling path segments, and the X/Y junctions where
-// segments meet. It provides the linear (L<n>) and grid (G<r>x<c>)
-// topology builders used in the evaluation and shortest-path routing over
-// the device graph.
+// segments meet. Topologies are built by an extensible registry of spec
+// families (see Family): the paper's linear (L<n>) and grid (G<r>x<c>)
+// devices, rings (R<n>), junction-rich meshes (M<r>x<c>), and
+// multi-module devices (Mod<k>:<inner>) whose modules are stitched by
+// photonic interconnect segments. Shortest-path routing over the device
+// graph understands both edge kinds.
 //
 // The grid generalizes the paper's Figure 2b: one junction sits between
 // each pair of row-adjacent traps and junctions in the same column are
@@ -67,13 +70,40 @@ type Endpoint struct {
 	TrapEnd End
 }
 
+// SegmentKind discriminates how a segment is traversed. The zero value is
+// an ordinary shuttling segment, so builders that predate the multi-module
+// family construct byte-identical devices without naming a kind.
+type SegmentKind uint8
+
+const (
+	// SegShuttle is a physical shuttling path: the ion moves through it,
+	// paying the Table I move time per length unit and the K2 motional
+	// heating per unit.
+	SegShuttle SegmentKind = iota
+	// SegPhotonic is an optical interconnect between two QCCD modules
+	// (TITAN-style, PAPERS.md): the qubit state crosses by remote
+	// entanglement plus teleportation onto a fresh ion on the far side.
+	// Traversal is a single timed link operation — no per-unit move time
+	// and no K2 heating — governed by the photonic-link Params.
+	SegPhotonic
+)
+
+// String names the segment kind.
+func (k SegmentKind) String() string {
+	if k == SegPhotonic {
+		return "photonic"
+	}
+	return "shuttle"
+}
+
 // Segment is a straight shuttling path piece connecting two endpoints.
 // Length counts move units (the Table I "move through one segment" time
-// applies per unit).
+// applies per unit); photonic segments ignore Length for timing.
 type Segment struct {
 	ID     int
 	A, B   Endpoint
 	Length int
+	Kind   SegmentKind
 }
 
 // OtherSide returns the endpoint of s that is not at node n.
@@ -223,6 +253,9 @@ func (d *Device) Validate() error {
 		}
 		if s.A.Node == s.B.Node {
 			return fmt.Errorf("segment %d: self loop at %s", i, s.A.Node)
+		}
+		if s.Kind == SegPhotonic && (s.A.Node.Kind != NodeTrap || s.B.Node.Kind != NodeTrap) {
+			return fmt.Errorf("segment %d: photonic link must join two trap ends", i)
 		}
 	}
 	if len(d.Traps) > 1 {

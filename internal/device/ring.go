@@ -11,24 +11,15 @@ func NewRing(traps, capacity int) (*Device, error) {
 	if traps < 3 {
 		return nil, fmt.Errorf("device: ring needs >=3 traps, got %d", traps)
 	}
-	d := &Device{Name: fmt.Sprintf("R%d", traps), Capacity: capacity}
+	if traps > MaxTraps {
+		return nil, fmt.Errorf("device: ring with %d traps exceeds the %d-trap limit", traps, MaxTraps)
+	}
+	g := newGraph(fmt.Sprintf("R%d", traps), capacity)
 	for i := 0; i < traps; i++ {
-		d.Traps = append(d.Traps, &Trap{ID: i, Name: fmt.Sprintf("T%d", i), Seg: [2]int{-1, -1}})
+		g.trap(fmt.Sprintf("T%d", i))
 	}
 	for i := 0; i < traps; i++ {
-		next := (i + 1) % traps
-		sid := len(d.Segments)
-		d.Segments = append(d.Segments, &Segment{
-			ID:     sid,
-			A:      Endpoint{Node: NodeRef{NodeTrap, i}, TrapEnd: Right},
-			B:      Endpoint{Node: NodeRef{NodeTrap, next}, TrapEnd: Left},
-			Length: 1,
-		})
-		d.Traps[i].Seg[Right] = sid
-		d.Traps[next].Seg[Left] = sid
+		g.segment(atTrap(i, Right), atTrap((i+1)%traps, Left))
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	return d, nil
+	return g.finish()
 }

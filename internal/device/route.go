@@ -15,14 +15,20 @@ type RouteCosts struct {
 	JunctionY   float64 // per Y-junction crossing
 	JunctionX   float64 // per X-junction crossing
 	TrapTransit float64 // per pass-through of an intermediate trap
+	// Link is the cost of one photonic interconnect traversal, length-
+	// independent: remote entanglement plus teleportation is one timed
+	// operation however far the modules sit apart.
+	Link float64
 }
 
-// DefaultRouteCosts orders preferences segment < junction < trap transit,
-// roughly proportional to the Table I operation times (5µs moves, ~100µs
-// junction crossings, 160µs+ for a merge+split pass-through plus the chain
-// reorder it usually triggers).
+// DefaultRouteCosts orders preferences segment < junction < trap transit
+// < photonic link, roughly proportional to the operation times (Table I
+// 5µs moves, ~100µs junction crossings, 160µs+ for a merge+split
+// pass-through plus the chain reorder it usually triggers, and ~300µs to
+// establish and consume remote entanglement), so routes stay inside a
+// module unless the destination really is in another module.
 func DefaultRouteCosts() RouteCosts {
-	return RouteCosts{Segment: 1, JunctionY: 20, JunctionX: 24, TrapTransit: 64}
+	return RouteCosts{Segment: 1, JunctionY: 20, JunctionX: 24, TrapTransit: 64, Link: 60}
 }
 
 // Hop is one step of a route: traversing a segment and arriving at a node.
@@ -147,7 +153,19 @@ func (r *Router) Distance(src, dst int) (float64, error) {
 	for _, h := range route.Hops[:len(route.Hops)-1] {
 		cost += r.nodeCost(h.Node)
 	}
-	cost += float64(route.SegmentUnits(r.dev)) * r.costs.Segment
+	// Aggregate shuttle units before the single multiply (bit-identical to
+	// the pre-photonic cost on link-free devices); links price per
+	// traversal, not per unit.
+	units, links := 0, 0
+	for _, h := range route.Hops {
+		if seg := r.dev.Segments[h.Segment]; seg.Kind == SegPhotonic {
+			links++
+		} else {
+			units += seg.Length
+		}
+	}
+	cost += float64(units) * r.costs.Segment
+	cost += float64(links) * r.costs.Link
 	return cost, nil
 }
 
@@ -206,7 +224,11 @@ func (r *Router) dijkstra(src int) map[int]*Route {
 		for _, sid := range r.dev.SegmentsAt(cur.node) {
 			seg := r.dev.Segments[sid]
 			next := seg.OtherSide(cur.node)
-			nd := cur.dist + leave + float64(seg.Length)*r.costs.Segment
+			segCost := float64(seg.Length) * r.costs.Segment
+			if seg.Kind == SegPhotonic {
+				segCost = r.costs.Link
+			}
+			nd := cur.dist + leave + segCost
 			if old, ok := dist[next.Node]; !ok || nd < old {
 				dist[next.Node] = nd
 				parent[next.Node] = parentLink{prev: cur.node, seg: sid}

@@ -36,8 +36,11 @@ type Scaling struct {
 	Rows []ScalingRow
 }
 
-// scalingSizes is the qubit grid for the scaling study.
-var scalingSizes = []int{64, 96, 128, 160, 200}
+// scalingSizes is the qubit grid for the scaling study. The sizes past
+// 200 step into the regime the §VIII.B discussion calls out as the QCCD
+// scaling frontier; at 512 qubits the sweep also includes a photonically
+// linked two-module device (see RunTitan for the full module study).
+var scalingSizes = []int{64, 96, 128, 160, 200, 256, 384, 512}
 
 // scalingCapacity is the fixed per-trap ion limit of the study.
 const scalingCapacity = 22
@@ -60,6 +63,15 @@ func scalingPoints(gate models.GateImpl) ([]Point, []ScalingRow) {
 		}{
 			{fmt.Sprintf("L%d", traps), traps},
 			{fmt.Sprintf("G2x%d", cols), 2 * cols},
+		}
+		if n == scalingSizes[len(scalingSizes)-1] {
+			// At the largest size, also split the machine into two
+			// photonically linked grid modules of half the columns each.
+			half := (cols + 1) / 2
+			topologies = append(topologies, struct {
+				spec  string
+				traps int
+			}{fmt.Sprintf("Mod2:G2x%d", half), 2 * 2 * half})
 		}
 		for _, app := range []string{"QAOA", "QFT"} {
 			for _, topo := range topologies {

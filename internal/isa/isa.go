@@ -40,6 +40,11 @@ const (
 	// OpIonSwap physically exchanges two adjacent ions in one trap
 	// (split + 180° rotation + merge).
 	OpIonSwap
+	// OpLinkTransit carries a detached ion's state across a photonic
+	// interconnect segment joining two QCCD modules: remote entanglement
+	// is established over the optical link and the state is teleported
+	// onto a fresh ion on the far side (TITAN-style, PAPERS.md).
+	OpLinkTransit
 )
 
 var opNames = [...]string{
@@ -52,6 +57,7 @@ var opNames = [...]string{
 	OpMerge:         "merge",
 	OpSwapGS:        "swapgs",
 	OpIonSwap:       "ionswap",
+	OpLinkTransit:   "link",
 }
 
 // String returns the mnemonic for k.
@@ -136,7 +142,7 @@ func (o Op) String() string {
 		fmt.Fprintf(&b, "q%d", q)
 	}
 	switch {
-	case o.Kind == OpMove:
+	case o.Kind == OpMove || o.Kind == OpLinkTransit:
 		fmt.Fprintf(&b, " @s%d", o.Segment)
 	case o.Kind == OpJunctionCross:
 		fmt.Fprintf(&b, " @J%d", o.Junction)
@@ -232,9 +238,9 @@ func (p *Program) Validate() error {
 			return fmt.Errorf("isa: op %d (%s) has %d qubits, want %d", i, op.Kind, len(op.Qubits), wantQubits)
 		}
 		switch op.Kind {
-		case OpMove:
+		case OpMove, OpLinkTransit:
 			if op.Segment < 0 {
-				return fmt.Errorf("isa: op %d move without segment", i)
+				return fmt.Errorf("isa: op %d %s without segment", i, op.Kind)
 			}
 		case OpJunctionCross:
 			if op.Junction < 0 {

@@ -74,6 +74,8 @@ func (p Params) AppendCanonical(c *Canon) {
 	c.Float("measure_fidelity", p.MeasureFidelity)
 	c.Int("swap_ms_gates", p.SwapMSGates)
 	c.Int("swap_one_q_gates", p.SwapOneQGates)
+	c.Float("photonic_link_latency", p.PhotonicLinkLatency)
+	c.Float("photonic_link_infidelity", p.PhotonicLinkInfidelity)
 }
 
 // Canonical returns the deterministic byte encoding of the parameters.

@@ -30,29 +30,35 @@ type paramsJSON struct {
 	MeasureFidelity   float64 `json:"measure_fidelity"`
 	SwapMSGates       int     `json:"swap_ms_gates"`
 	SwapOneQGates     int     `json:"swap_one_q_gates"`
+	// Photonic link fields decode to zero from documents that predate
+	// them; Validate accepts that, and single-module devices ignore it.
+	PhotonicLinkLatency    float64 `json:"photonic_link_latency_us"`
+	PhotonicLinkInfidelity float64 `json:"photonic_link_infidelity"`
 }
 
 // MarshalJSON encodes the parameters with descriptive, unit-suffixed keys.
 func (p Params) MarshalJSON() ([]byte, error) {
 	return json.Marshal(paramsJSON{
-		Gate:              p.Gate.String(),
-		OneQubitTime:      p.OneQubitTime,
-		MeasureTime:       p.MeasureTime,
-		MoveTime:          p.MoveTime,
-		SplitTime:         p.SplitTime,
-		MergeTime:         p.MergeTime,
-		YJunctionTime:     p.YJunctionTime,
-		XJunctionTime:     p.XJunctionTime,
-		IonSwapRotateTime: p.IonSwapRotateTime,
-		K1:                p.K1,
-		K2:                p.K2,
-		JunctionHeating:   p.JunctionHeating,
-		BackgroundRate:    p.BackgroundRate,
-		A0:                p.A0,
-		A1Q:               p.A1Q,
-		MeasureFidelity:   p.MeasureFidelity,
-		SwapMSGates:       p.SwapMSGates,
-		SwapOneQGates:     p.SwapOneQGates,
+		Gate:                   p.Gate.String(),
+		OneQubitTime:           p.OneQubitTime,
+		MeasureTime:            p.MeasureTime,
+		MoveTime:               p.MoveTime,
+		SplitTime:              p.SplitTime,
+		MergeTime:              p.MergeTime,
+		YJunctionTime:          p.YJunctionTime,
+		XJunctionTime:          p.XJunctionTime,
+		IonSwapRotateTime:      p.IonSwapRotateTime,
+		K1:                     p.K1,
+		K2:                     p.K2,
+		JunctionHeating:        p.JunctionHeating,
+		BackgroundRate:         p.BackgroundRate,
+		A0:                     p.A0,
+		A1Q:                    p.A1Q,
+		MeasureFidelity:        p.MeasureFidelity,
+		SwapMSGates:            p.SwapMSGates,
+		SwapOneQGates:          p.SwapOneQGates,
+		PhotonicLinkLatency:    p.PhotonicLinkLatency,
+		PhotonicLinkInfidelity: p.PhotonicLinkInfidelity,
 	})
 }
 
@@ -71,24 +77,26 @@ func (p *Params) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*p = Params{
-		Gate:              gate,
-		OneQubitTime:      raw.OneQubitTime,
-		MeasureTime:       raw.MeasureTime,
-		MoveTime:          raw.MoveTime,
-		SplitTime:         raw.SplitTime,
-		MergeTime:         raw.MergeTime,
-		YJunctionTime:     raw.YJunctionTime,
-		XJunctionTime:     raw.XJunctionTime,
-		IonSwapRotateTime: raw.IonSwapRotateTime,
-		K1:                raw.K1,
-		K2:                raw.K2,
-		JunctionHeating:   raw.JunctionHeating,
-		BackgroundRate:    raw.BackgroundRate,
-		A0:                raw.A0,
-		A1Q:               raw.A1Q,
-		MeasureFidelity:   raw.MeasureFidelity,
-		SwapMSGates:       raw.SwapMSGates,
-		SwapOneQGates:     raw.SwapOneQGates,
+		Gate:                   gate,
+		OneQubitTime:           raw.OneQubitTime,
+		MeasureTime:            raw.MeasureTime,
+		MoveTime:               raw.MoveTime,
+		SplitTime:              raw.SplitTime,
+		MergeTime:              raw.MergeTime,
+		YJunctionTime:          raw.YJunctionTime,
+		XJunctionTime:          raw.XJunctionTime,
+		IonSwapRotateTime:      raw.IonSwapRotateTime,
+		K1:                     raw.K1,
+		K2:                     raw.K2,
+		JunctionHeating:        raw.JunctionHeating,
+		BackgroundRate:         raw.BackgroundRate,
+		A0:                     raw.A0,
+		A1Q:                    raw.A1Q,
+		MeasureFidelity:        raw.MeasureFidelity,
+		SwapMSGates:            raw.SwapMSGates,
+		SwapOneQGates:          raw.SwapOneQGates,
+		PhotonicLinkLatency:    raw.PhotonicLinkLatency,
+		PhotonicLinkInfidelity: raw.PhotonicLinkInfidelity,
 	}
 	return nil
 }

@@ -150,6 +150,16 @@ type Params struct {
 	// (3 MS + single-qubit corrections, §IV.C / Figure 5).
 	SwapMSGates   int
 	SwapOneQGates int
+
+	// Photonic interconnect model for multi-module (Mod<k>:<inner>)
+	// devices. A link transit establishes remote entanglement over the
+	// optical link and teleports the detached ion's state onto a fresh
+	// cooled ion on the far side, so it pays one flat latency and one
+	// infidelity hit, and resets accumulated transit heating.
+	// PhotonicLinkLatency is that flat duration (µs).
+	PhotonicLinkLatency float64
+	// PhotonicLinkInfidelity is the state error of one link transit.
+	PhotonicLinkInfidelity float64
 }
 
 // Default returns the paper-faithful constants: Table I shuttle times, the
@@ -177,6 +187,11 @@ func Default() Params {
 		MeasureFidelity:   0.9999,
 		SwapMSGates:       3,
 		SwapOneQGates:     4,
+		// Heralded remote entanglement plus teleportation: hundreds of µs
+		// at ~1% infidelity is the optimistic near-term operating point
+		// the TITAN-style studies assume (PAPERS.md).
+		PhotonicLinkLatency:    300,
+		PhotonicLinkInfidelity: 0.02,
 	}
 }
 
@@ -213,6 +228,15 @@ func (p Params) Validate() error {
 	}
 	if int(p.Gate) >= len(gateImplNames) {
 		return fmt.Errorf("models: bad gate implementation %d", p.Gate)
+	}
+	// Zero link latency is allowed (not merely an idealized link: params
+	// documents that predate photonic links decode with the zero value and
+	// must stay valid). Single-module devices never exercise it.
+	if p.PhotonicLinkLatency < 0 {
+		return fmt.Errorf("models: PhotonicLinkLatency must be non-negative, got %g", p.PhotonicLinkLatency)
+	}
+	if p.PhotonicLinkInfidelity < 0 || p.PhotonicLinkInfidelity >= 1 {
+		return fmt.Errorf("models: PhotonicLinkInfidelity must be in [0,1), got %g", p.PhotonicLinkInfidelity)
 	}
 	return nil
 }

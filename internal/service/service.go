@@ -486,10 +486,17 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, AppsResponse{Apps: list, Sized: sized})
 }
 
-// TopologyForm documents one device spec form of GET /v1/topologies.
-type TopologyForm struct {
-	Form        string `json:"form"`
-	Description string `json:"description"`
+// TopologyFamily documents one registered device spec family of
+// GET /v1/topologies: its grammar, its size constraints and its valid
+// example specs. The response is generated from the device registry, so a
+// family registered with device.RegisterFamily appears here without any
+// service change.
+type TopologyFamily struct {
+	Name        string   `json:"name"`
+	Form        string   `json:"form"`
+	Description string   `json:"description"`
+	Constraint  string   `json:"constraint"`
+	Examples    []string `json:"examples,omitempty"`
 }
 
 // TopologyExample is a parsed example device.
@@ -502,29 +509,30 @@ type TopologyExample struct {
 
 // TopologiesResponse is the body of GET /v1/topologies.
 type TopologiesResponse struct {
-	Forms    []TopologyForm    `json:"forms"`
+	Families []TopologyFamily  `json:"families"`
 	Examples []TopologyExample `json:"examples"`
 }
 
 func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
-	resp := TopologiesResponse{
-		Forms: []TopologyForm{
-			{Form: "L<n>", Description: "n traps in a row joined by single segments (paper §VIII.B)"},
-			{Form: "G<r>x<c>", Description: "r-by-c trap grid with X/Y junctions (generalizes Figure 2b)"},
-			{Form: "R<n>", Description: "n traps in a ring"},
-		},
-	}
-	for _, ex := range []struct {
-		spec string
-		cap  int
-	}{{"L6", 22}, {"G2x3", 22}, {"R6", 22}} {
-		d, err := device.Parse(ex.spec, ex.cap)
-		if err != nil {
-			continue
-		}
-		resp.Examples = append(resp.Examples, TopologyExample{
-			Spec: ex.spec, Capacity: ex.cap, Traps: d.NumTraps(), MaxIons: d.MaxIons(),
+	var resp TopologiesResponse
+	const exampleCap = 22 // the paper's evaluated trap capacity
+	for _, f := range device.Families() {
+		resp.Families = append(resp.Families, TopologyFamily{
+			Name:        f.Name,
+			Form:        f.Form,
+			Description: f.Description,
+			Constraint:  f.Constraint,
+			Examples:    f.Examples,
 		})
+		for _, spec := range f.Examples {
+			d, err := device.Parse(spec, exampleCap)
+			if err != nil {
+				continue
+			}
+			resp.Examples = append(resp.Examples, TopologyExample{
+				Spec: spec, Capacity: exampleCap, Traps: d.NumTraps(), MaxIons: d.MaxIons(),
+			})
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

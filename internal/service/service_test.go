@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/device"
 	"repro/internal/models"
 )
 
@@ -294,13 +295,30 @@ func TestIntrospectionEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	topos := decodeBody[TopologiesResponse](t, resp)
-	if len(topos.Forms) < 2 || len(topos.Examples) < 2 {
-		t.Errorf("topologies = %+v", topos)
+	registered := device.Families()
+	if len(topos.Families) != len(registered) {
+		t.Errorf("topologies lists %d families, registry has %d", len(topos.Families), len(registered))
 	}
+	for i, f := range topos.Families {
+		if i < len(registered) && f.Name != registered[i].Name {
+			t.Errorf("family[%d] = %q, want %q (registration order)", i, f.Name, registered[i].Name)
+		}
+		if f.Name == "" || f.Form == "" || f.Description == "" || f.Constraint == "" {
+			t.Errorf("family %+v missing name, form, description or constraint", f)
+		}
+	}
+	if len(topos.Examples) < len(registered) {
+		t.Errorf("topologies = %d examples, want >= one per family", len(topos.Examples))
+	}
+	exampleSpecs := map[string]bool{}
 	for _, ex := range topos.Examples {
+		exampleSpecs[ex.Spec] = true
 		if ex.Traps <= 0 || ex.MaxIons <= 0 {
 			t.Errorf("example %+v not parsed", ex)
 		}
+	}
+	if !exampleSpecs["Mod2:G2x3"] {
+		t.Error("topologies examples missing a multi-module device")
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/policies")

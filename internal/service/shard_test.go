@@ -231,6 +231,66 @@ func TestShardCapAppliesToWindowNotGrid(t *testing.T) {
 	}
 }
 
+// TestMultiModuleSweepGrammarShardResume drives a photonically linked
+// multi-module topology through the whole server-side sweep machinery:
+// grammar expansion, index-window sharding, and cursor resume.
+func TestMultiModuleSweepGrammarShardResume(t *testing.T) {
+	_, ts := newTestServer(t)
+	// At capacity 4 each trap holds 2 ions plus the mapper's 2 buffer
+	// slots, so BV@6 overflows one 2-trap module and must cross the link.
+	space := `{
+		"apps": ["BV@4", "BV@6"],
+		"topologies": ["L4", "Mod2:L2"],
+		"capacities": [4]
+	}` // 4 points, Mod2:L2 at seqs 1 and 3
+	body := func(extra string) string { return `{"space":` + space + extra + `}` }
+
+	// Full grammar expansion.
+	resp := postJSON(t, ts.URL+"/v1/sweep", body(``))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	header, rows, summary := ndjson(t, resp.Body)
+	resp.Body.Close()
+	if header.GridSize != 4 || len(rows) != 4 || !summary.Done {
+		t.Fatalf("grid = %d, rows = %d", header.GridSize, len(rows))
+	}
+	modRows := 0
+	for _, row := range rows {
+		if row.Point.Topology == "Mod2:L2" {
+			modRows++
+			if row.Error != "" {
+				t.Errorf("Mod2:L2 seq %d failed: %s", row.Seq, row.Error)
+				continue
+			}
+			if row.Point.App == "BV@6" && (row.Result == nil || row.Result.LinkTransits == 0) {
+				t.Errorf("Mod2:L2 seq %d: no link transits; BV@6 overflows one module and must cross the link", row.Seq)
+			}
+		}
+	}
+	if modRows != 2 {
+		t.Fatalf("multi-module rows = %d, want 2", modRows)
+	}
+
+	// The shard holding the last Mod point, paginated and resumed.
+	shard := `,"shard":{"index":1,"count":2}` // window [2, 4)
+	resp = postJSON(t, ts.URL+"/v1/sweep", body(shard+`,"limit":1`))
+	_, rows, summary = ndjson(t, resp.Body)
+	resp.Body.Close()
+	if len(rows) != 1 || rows[0].Seq != 2 || summary.NextCursor == "" {
+		t.Fatalf("limited shard: rows = %+v, cursor = %q", rows, summary.NextCursor)
+	}
+	resp = postJSON(t, ts.URL+"/v1/sweep", body(shard+`,"resume_from":"`+summary.NextCursor+`"`))
+	_, rows, summary = ndjson(t, resp.Body)
+	resp.Body.Close()
+	if len(rows) != 1 || rows[0].Seq != 3 || rows[0].Point.Topology != "Mod2:L2" {
+		t.Fatalf("resumed shard rows = %+v", rows)
+	}
+	if rows[0].Error != "" || summary.NextCursor != "" {
+		t.Fatalf("resumed Mod row = %+v, next = %q", rows[0], summary.NextCursor)
+	}
+}
+
 func TestShardProgressRegistryPerShard(t *testing.T) {
 	srv, ts := newTestServer(t)
 	resp := postJSON(t, ts.URL+"/v1/sweep", shardBody(`,"shard":{"index":2,"count":4}`))

@@ -452,6 +452,56 @@ func TestSpaceSweepBadRequests(t *testing.T) {
 	}
 }
 
+// TestBadTopologySpecsRejected pins the registry-driven validation: a
+// topology spec no family accepts is a 400 at /v1/run and both sweep
+// forms, and an unmatched spec's error carries the registered family
+// grammar so the client can self-correct.
+func TestBadTopologySpecsRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	badSpecs := []struct{ name, spec string }{
+		{"unknown family", "Z9"},
+		{"grid too small", "G1x3"},
+		{"mesh too small", "M1x3"},
+		{"mod k zero", "Mod0:L2"},
+		{"mod of ring", "Mod2:R6"},
+		{"mod of mesh", "Mod2:M2x2"},
+		{"mod missing inner", "Mod2:"},
+		{"linear zero", "L0"},
+	}
+	for _, bad := range badSpecs {
+		for _, form := range []struct{ name, path, body string }{
+			{"run", "/v1/run", `{"point":{"app":"BV","topology":"` + bad.spec + `","capacity":14}}`},
+			{"points sweep", "/v1/sweep", `{"points":[{"app":"BV","topology":"` + bad.spec + `","capacity":14}]}`},
+			{"space sweep", "/v1/sweep", `{"space":{"apps":["BV"],"topologies":["` + bad.spec + `"],"capacities":[14]}}`},
+		} {
+			resp := postJSON(t, ts.URL+form.path, form.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s via %s: status = %d, want 400", bad.name, form.name, resp.StatusCode)
+			}
+			if body := decodeBody[errorBody](t, resp); body.Error == "" {
+				t.Errorf("%s via %s: missing error message", bad.name, form.name)
+			}
+		}
+	}
+	// An unmatched spec's error lists every registered grammar.
+	resp := postJSON(t, ts.URL+"/v1/run", `{"point":{"app":"BV","topology":"Z9","capacity":14}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	body := decodeBody[errorBody](t, resp)
+	for _, form := range []string{"L<n>", "G<r>x<c>", "R<n>", "M<r>x<c>", "Mod<k>:<inner>"} {
+		if !strings.Contains(body.Error, form) {
+			t.Errorf("error %q missing family form %s", body.Error, form)
+		}
+	}
+	// And the new families are accepted end to end.
+	resp = postJSON(t, ts.URL+"/v1/run", `{"point":{"app":"BV","topology":"Mod2:G2x3","capacity":14}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("Mod2:G2x3 run: status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
 func TestSpaceSweepTooLargeRejected(t *testing.T) {
 	srv, err := New(Config{MaxSpacePoints: 8})
 	if err != nil {

@@ -63,6 +63,11 @@ type Result struct {
 	Moves             int `json:"moves"`
 	JunctionCrossings int `json:"junction_crossings"`
 	IonSwaps          int `json:"ion_swaps"`
+	// LinkTransits counts photonic interconnect traversals; zero on
+	// single-module devices and omitted from the wire format there, which
+	// keeps pre-photonic results (including the golden determinism grid)
+	// byte-identical.
+	LinkTransits int `json:"link_transits,omitempty"`
 	// GSSwaps counts gate-based reorder operations.
 	GSSwaps int `json:"gs_swaps"`
 
@@ -142,6 +147,7 @@ func (e *engine) result() *Result {
 		BusyComm:           e.categoryBusy[isa.CatComm],
 	}
 	r.Splits, r.Merges, r.Moves, r.JunctionCrossings, r.IonSwaps = e.tracker.Counts()
+	r.LinkTransits = e.linkTransits
 	r.GSSwaps = e.prog.CountKind(isa.OpSwapGS)
 	if e.msGates > 0 {
 		r.MeanMotionalError = e.sumMotional / float64(e.msGates)

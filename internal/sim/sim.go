@@ -120,6 +120,7 @@ type engine struct {
 	endOrder   []int32
 
 	logFidelity   float64
+	linkTransits  int
 	msGates       int
 	sumMotional   float64
 	sumBackground float64
@@ -193,7 +194,7 @@ func newEngine(p *isa.Program, d *device.Device, params models.Params) *engine {
 // resourceIndex maps an op to its single required resource.
 func (e *engine) resourceIndex(op *isa.Op) int {
 	switch op.Kind {
-	case isa.OpMove:
+	case isa.OpMove, isa.OpLinkTransit:
 		return e.dev.NumTraps() + op.Segment
 	case isa.OpJunctionCross:
 		return e.dev.NumTraps() + len(e.dev.Segments) + op.Junction
@@ -280,6 +281,10 @@ func (e *engine) duration(op *isa.Op) float64 {
 		return p.MergeTime
 	case isa.OpMove:
 		return p.MoveTime * float64(e.dev.Segments[op.Segment].Length)
+	case isa.OpLinkTransit:
+		// Flat: remote entanglement + teleportation is one heralded round,
+		// however long the optical fiber.
+		return p.PhotonicLinkLatency
 	case isa.OpJunctionCross:
 		return p.JunctionTime(e.dev.Junctions[op.Junction].Kind())
 	}
@@ -465,6 +470,19 @@ func (e *engine) apply(op *isa.Op) error {
 		}
 		e.transitE[q] = heating.Move(e.transitE[q], e.dev.Segments[op.Segment].Length, p.K2)
 		e.tracker.CountMove()
+		e.tracker.ObserveTransit(e.transitE[q])
+
+	case isa.OpLinkTransit:
+		q := op.Qubits[0]
+		if e.qTrap[q] != -1 {
+			return fmt.Errorf("link transit of qubit q%d that is not in transit", q)
+		}
+		// The state is teleported onto a fresh cooled ion on the far
+		// module, so accumulated motional energy does not cross the link —
+		// but the teleportation itself costs fidelity.
+		e.transitE[q] = 0
+		e.logFidelity += math.Log(1 - p.PhotonicLinkInfidelity)
+		e.linkTransits++
 		e.tracker.ObserveTransit(e.transitE[q])
 
 	case isa.OpJunctionCross:

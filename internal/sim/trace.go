@@ -113,7 +113,7 @@ func RunTraced(p *isa.Program, d *device.Device, params models.Params) (*Result,
 // resourceName renders the resource an op occupies.
 func (e *engine) resourceName(op *isa.Op) string {
 	switch op.Kind {
-	case isa.OpMove:
+	case isa.OpMove, isa.OpLinkTransit:
 		return fmt.Sprintf("s%d", op.Segment)
 	case isa.OpJunctionCross:
 		return fmt.Sprintf("J%d", op.Junction)

@@ -105,7 +105,9 @@ func (s Space) Compile() (*Grid, error) {
 
 	seenTopos := make(map[string]bool, len(s.Topologies))
 	for i, topo := range s.Topologies {
-		if _, err := device.Parse(topo, maxCap); err != nil {
+		// Registry validation: a bad spec is a compile-time space error
+		// carrying the family list, and the trial device is not retained.
+		if err := device.ValidateSpec(topo, maxCap); err != nil {
 			return nil, fmt.Errorf("sweep: space: topologies[%d]: %w", i, err)
 		}
 		key := strings.ToLower(topo)

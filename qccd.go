@@ -6,8 +6,10 @@
 //   - a program IR with an OpenQASM 2.0 interface and generators for the
 //     paper's six NISQ benchmarks (Supremacy, QAOA, SquareRoot, QFT,
 //     Adder, BV);
-//   - a device model with linear and grid QCCD topologies (traps,
-//     shuttling segments, X/Y junctions);
+//   - a device model with an extensible topology-family registry: linear,
+//     grid, ring, junction-mesh and photonically linked multi-module QCCD
+//     devices (traps, shuttling segments, X/Y junctions, optical
+//     interconnects);
 //   - an optimizing backend compiler (greedy qubit mapping, shortest-path
 //     shuttle routing, GS/IS chain reordering, congestion-aware issue
 //     order);
@@ -74,6 +76,9 @@ type (
 	// BenchmarkSpec describes one suite benchmark and its Table II
 	// reference numbers.
 	BenchmarkSpec = apps.Spec
+	// TopologyFamily describes one registered device spec family: its
+	// grammar, constraints and builder.
+	TopologyFamily = device.Family
 )
 
 // Gate implementation and reordering method constants (§VII.A, §IV.C).
@@ -100,9 +105,36 @@ func NewGridDevice(rows, cols, capacity int) (*Device, error) {
 	return device.NewGrid(rows, cols, capacity)
 }
 
-// ParseDevice builds a device from a spec string such as "L6" or "G2x3".
+// NewMeshDevice builds an M<rows>x<cols> junction-rich mesh: every trap
+// bounded by junctions on both ends, so all routes are junction-only and
+// never merge through an intermediate chain.
+func NewMeshDevice(rows, cols, capacity int) (*Device, error) {
+	return device.NewMesh(rows, cols, capacity)
+}
+
+// NewMultiModuleDevice chains k copies of the inner device with photonic
+// interconnect links (TITAN-style distributed QCCD). The inner topology
+// must expose at least two free trap ends (linear or grid, not ring or
+// mesh).
+func NewMultiModuleDevice(k int, inner *Device) (*Device, error) {
+	return device.NewMultiModule(k, inner)
+}
+
+// ParseDevice builds a device from a spec string such as "L6", "G2x3",
+// "R6", "M2x3" or "Mod2:G2x3", dispatching through the topology family
+// registry.
 func ParseDevice(spec string, capacity int) (*Device, error) {
 	return device.Parse(spec, capacity)
+}
+
+// TopologyFamilies lists every registered topology family in registration
+// order — the families GET /v1/topologies reports and ParseDevice accepts.
+func TopologyFamilies() []TopologyFamily { return device.Families() }
+
+// ValidateTopology reports whether spec names a buildable device at the
+// given capacity, without retaining the built device.
+func ValidateTopology(spec string, capacity int) error {
+	return device.ValidateSpec(spec, capacity)
 }
 
 // DefaultParams returns the paper-faithful physical constants (§VII,
